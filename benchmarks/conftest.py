@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Each benchmark wraps one experiment driver from
+:mod:`repro.bench.experiments` in a single-round ``benchmark.pedantic`` call
+(the drivers are deterministic end-to-end experiments, not microseconds-scale
+kernels) and prints the driver's paper-style report so that
+
+    pytest benchmarks/ --benchmark-only -s | tee bench_output.txt
+
+captures every regenerated table and figure.
+
+``REPRO_BENCH_SCALE`` (default ``1.0``) multiplies the analog dataset sizes
+for the experiment benchmarks; the kernel micro-benchmarks are unaffected.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Figure 10: PageRank multi-machine scalability (10 iterations, 1-9 machines).
+
+Paper: FR-1B speedups 1.8x / 2.4x / 2.9x at 3/6/9 machines; OR-100M stops
+scaling beyond ~6 machines as communication dominates; FRS-72B scales best
+(4.5x at 9 machines).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import experiments as E
+
+
+def test_fig10_pagerank_scaling(benchmark, bench_scale):
+    res = run_once(
+        benchmark,
+        E.fig10_pagerank_scaling,
+        machines=(1, 2, 3, 4, 5, 6, 7, 8, 9),
+        scale=bench_scale,
+    )
+    print()
+    print(res.report())
+    fr = res.normalized["FR-1B"]
+    or_ = res.normalized["OR-100M"]
+    frs = res.normalized["FRS-72B"]
+    machines = np.asarray(res.machines)
+
+    def at(series, p):
+        return float(series[machines.tolist().index(p)])
+
+    # FR-1B: meaningful but sub-linear speedup (paper: 1.8x at p=3)
+    assert at(fr, 3) < 0.75
+    assert at(fr, 9) < at(fr, 3)
+    assert at(fr, 9) > 1 / 9  # far from linear, as in the paper
+    # FRS-72B (largest) scales best at p=9; OR-100M (smallest) worst
+    assert at(frs, 9) < at(fr, 9) < at(or_, 9)
+    # OR-100M flattens past 6 machines: its 6->9 relative gain is the
+    # smallest of the three datasets (paper: "scalability becomes poor
+    # beyond 6 machines" on the smallest graph)
+    def gain_6_to_9(series):
+        return at(series, 6) / at(series, 9)
+
+    assert gain_6_to_9(or_) < gain_6_to_9(fr) < gain_6_to_9(frs)

@@ -1,0 +1,30 @@
+"""Figure 11: 100 concurrent 3-hop queries on FR-1B, 1/3/6/9 machines.
+
+Paper: with more machines most queries respond fast (80% within 0.2 s, 90%
+within 1 s at the high machine counts), while "the number of boundary
+vertices increases significantly" with the machine count.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments as E
+
+
+def test_fig11_machine_scaling(benchmark, bench_scale):
+    res = run_once(
+        benchmark,
+        E.fig11_machine_scaling,
+        machines=(1, 3, 6, 9),
+        num_queries=100,
+        scale=bench_scale,
+    )
+    print()
+    print(res.report())
+    means = {p: rt.mean for p, rt in res.per_machines.items()}
+    # responses improve monotonically with machines on this workload
+    assert means[9] < means[3] < means[1]
+    # at 9 machines the distribution is tightly bounded (paper: 90% <= 1 s)
+    assert res.per_machines[9].fraction_within(1.0) > 0.9
+    # boundary vertices grow with the machine count (the paper's caveat)
+    bv = res.boundary_vertices
+    assert bv[1] == 0 and bv[3] < bv[6] < bv[9]

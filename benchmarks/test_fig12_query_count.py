@@ -1,0 +1,31 @@
+"""Figure 12: query-count scalability (20/50/100/350 queries, FRS-100B, 9 machines).
+
+Paper: up to 100 concurrent queries respond fast (80% within 0.6 s); at 350
+the pool saturates — 40% within 1 s, 60% within 2 s, a 4-7 s tail.  The
+analog reproduces the *knee*: response distributions are stable up to 100
+queries and degrade sharply at 350 (paper's tail grows ~4.4x; see
+EXPERIMENTS.md for the saturation caveat on absolute values).
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments as E
+
+
+def test_fig12_query_count(benchmark, bench_scale):
+    res = run_once(
+        benchmark,
+        E.fig12_query_count_scaling,
+        counts=(20, 50, 100, 350),
+        scale=bench_scale,
+    )
+    print()
+    print(res.report())
+    rt = res.per_count
+    # the knee: 20 -> 100 queries barely move the distribution...
+    assert rt[100].max < 1.5 * rt[20].max
+    # ...350 queries saturate the slots and the tail blows out
+    assert rt[350].max > 1.8 * rt[100].max
+    assert res.degradation_ratio() > 1.8
+    # medians degrade more gently than the tails (queueing hits the tail)
+    assert rt[350].percentile(50) < rt[350].max

@@ -1,0 +1,20 @@
+"""Figure 1: hop plot of the Slashdot-Zoo analog.
+
+Paper: diameter 12, delta_0.5 = 3.51, delta_0.9 = 4.71 — "most of the
+network will be visited with less than 5 hops".
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments as E
+
+
+def test_fig1_hop_plot(benchmark, bench_scale):
+    res = run_once(benchmark, E.fig1_hop_plot, scale=bench_scale, num_sources=300)
+    print()
+    print(res.report())
+    # the small-world shape: 90% of pairs within a handful of hops
+    assert res.d50 < res.d90 <= res.diameter
+    assert res.d90 < 8.0
+    # and the CDF is a proper distribution
+    assert abs(res.cdf[-1] - 1.0) < 1e-9

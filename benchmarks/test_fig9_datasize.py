@@ -1,0 +1,37 @@
+"""Figure 9: data-size scalability of 100 concurrent 3-hop queries, 9 machines.
+
+Paper: 85% of queries within 0.4 s (FR-1B) / 0.6 s (FRS-100B); upper bounds
+1.2 s / 1.6 s; "the response time highly depends on the average degree of
+root vertices, which is 38, 27, 108 for OR-100M, FR-1B, FRS-100B".
+
+The FRS-100B analog saturates under 3 hops (its 3-hop ball covers most of
+the scaled graph, unlike the paper's 106B-edge original), so its absolute
+times exceed the paper's — the cross-dataset *ordering* and the bounded-tail
+shape are the reproduction target here (see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments as E
+
+
+def test_fig9_data_size(benchmark, bench_scale):
+    res = run_once(
+        benchmark,
+        E.fig9_data_size_scalability,
+        num_queries=100,
+        scale=bench_scale,
+        distinct_roots=60,
+    )
+    print()
+    print(res.report())
+    or_rt = res.per_dataset["OR-100M"]
+    fr_rt = res.per_dataset["FR-1B"]
+    frs_rt = res.per_dataset["FRS-100B"]
+    # larger datasets -> larger response times, as in the figure
+    assert or_rt.mean < fr_rt.mean < frs_rt.mean
+    # bounded tails: p85 within ~2x of the median for every dataset
+    for rt in res.per_dataset.values():
+        assert rt.percentile(85) < 3 * max(rt.percentile(50), 1e-9)
+    # the FRS root degree dwarfs the others (paper: 108 vs 38/27)
+    assert res.avg_root_degree["FRS-100B"] > res.avg_root_degree["FR-1B"]

@@ -1,0 +1,18 @@
+"""Table 1: dataset inventory — build every analog and report its true size."""
+
+from conftest import run_once
+
+from repro.bench import experiments as E
+
+
+def test_table1_datasets(benchmark, bench_scale):
+    res = run_once(benchmark, E.table1, scale=bench_scale, build=True)
+    print()
+    print(res.report())
+    names = {r["name"] for r in res.rows}
+    assert names >= {"OR-100M", "FR-1B", "FRS-72B", "FRS-100B"}
+    for row in res.rows:
+        assert row["analog_edges"] > 0
+        # analogs preserve the relative ordering of the paper's datasets
+    by_name = {r["name"]: r for r in res.rows}
+    assert by_name["FR-1B"]["analog_edges"] > by_name["OR-100M"]["analog_edges"]

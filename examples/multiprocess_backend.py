@@ -1,0 +1,57 @@
+"""Running a query batch over real OS-process boundaries.
+
+The library's default runtime simulates the cluster in-process (fast,
+deterministic, cost-modelled).  This example exercises the alternative
+substrate: one worker *process* per machine, numpy-buffer messages over
+pipes, a coordinator as the interconnect — the same partition-centric
+protocol the paper deploys over Socket/MPI, shrunk to one host.
+
+Run:  python examples/multiprocess_backend.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.khop import concurrent_khop
+from repro.graph import graph500_kronecker, range_partition
+from repro.runtime.mp_backend import mp_concurrent_khop
+
+
+def main() -> None:
+    edges = (
+        graph500_kronecker(scale=15, edgefactor=12, seed=4)
+        .remove_self_loops()
+        .deduplicate()
+    )
+    print(f"graph: {edges.num_vertices:,} vertices, {edges.num_edges:,} edges")
+
+    rng = np.random.default_rng(0)
+    sources = rng.integers(0, edges.num_vertices, size=32).tolist()
+
+    for machines in (1, 2, 4):
+        pg = range_partition(edges, machines)
+
+        t0 = time.perf_counter()
+        ref = concurrent_khop(pg, sources, k=3)
+        in_process = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        res = mp_concurrent_khop(pg, sources, k=3)
+        multi_process = time.perf_counter() - t0
+
+        assert (res.reached == ref.reached).all(), "backends must agree"
+        print(
+            f"  {machines} machine(s): in-process {in_process * 1e3:7.1f} ms | "
+            f"multi-process {multi_process * 1e3:7.1f} ms "
+            f"(identical answers, {res.supersteps} supersteps)"
+        )
+
+    print("\nper-query reach (first 8):", ref.reached[:8].tolist())
+    print("note: process spawn + pipe traffic dominates at this scale; the "
+          "point is protocol fidelity across real process boundaries, not "
+          "speedup on a toy graph.")
+
+
+if __name__ == "__main__":
+    main()

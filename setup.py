@@ -1,0 +1,10 @@
+"""Setup shim so ``pip install -e .`` works in offline environments.
+
+The environment this reproduction targets has no ``wheel`` package, so the
+PEP 517 editable-wheel path fails; with this shim pip falls back to the
+legacy ``setup.py develop`` route.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

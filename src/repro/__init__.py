@@ -1,0 +1,48 @@
+"""C-Graph: a concurrent graph reachability query framework.
+
+A production-quality Python reproduction of *"C-Graph: A Highly Efficient
+Concurrent Graph Reachability Query Framework"* (Zhou, Chen, Xia,
+Teodorescu -- ICPP 2018).
+
+Public entry points:
+
+* :class:`repro.CGraph` -- build once, then serve concurrent k-hop/BFS
+  queries, PageRank, SSSP and triangle analytics.
+* :mod:`repro.graph` -- graph substrate (formats, partitioning, generators,
+  datasets, analysis).
+* :mod:`repro.runtime` -- the simulated distributed runtime and its cost
+  model.
+* :mod:`repro.baselines` -- Titan-like graph DB, Gemini-like serialized
+  engine, the naive queue traversal, and networkx oracles.
+* :mod:`repro.bench` -- workload generation and the per-figure experiment
+  drivers reproducing the paper's evaluation.
+"""
+
+from repro.core.cgraph import CGraph
+from repro.core import (
+    concurrent_khop,
+    concurrent_bfs,
+    run_query_stream,
+    reachability_queries,
+    core_numbers,
+    pagerank,
+    sssp,
+    triangle_count,
+)
+from repro.runtime.netmodel import NetworkModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CGraph",
+    "concurrent_khop",
+    "concurrent_bfs",
+    "run_query_stream",
+    "reachability_queries",
+    "core_numbers",
+    "pagerank",
+    "sssp",
+    "triangle_count",
+    "NetworkModel",
+    "__version__",
+]

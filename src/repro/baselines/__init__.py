@@ -1,0 +1,34 @@
+"""Baseline systems the paper compares against (§4, Figures 7, 8, 13).
+
+* :mod:`repro.baselines.graphdb` — a Titan-like property-graph database:
+  object-per-vertex/edge storage, transactional reads, query-at-a-time
+  traversal.  Reproduces *why* Titan is slow (software-stack overhead per
+  edge access, no sharing), not its exact constants.
+* :mod:`repro.baselines.serial` — a Gemini-like engine: a fast vectorised
+  single-query core that must *serialize* concurrent queries.
+* :mod:`repro.baselines.naive` — Listing 2 implemented literally with
+  Python queues and per-query visited sets on the partitioned graph; the
+  non-bitwise ablation point and a correctness cross-check.
+* :mod:`repro.baselines.oracle` — networkx reference answers for tests.
+"""
+
+from repro.baselines.graphdb import TitanLikeDB
+from repro.baselines.serial import GeminiLikeEngine
+from repro.baselines.naive import naive_khop, naive_distributed_khop
+from repro.baselines.oracle import (
+    oracle_khop_reach,
+    oracle_bfs_levels,
+    oracle_pagerank,
+    oracle_sssp,
+)
+
+__all__ = [
+    "TitanLikeDB",
+    "GeminiLikeEngine",
+    "naive_khop",
+    "naive_distributed_khop",
+    "oracle_khop_reach",
+    "oracle_bfs_levels",
+    "oracle_pagerank",
+    "oracle_sssp",
+]

@@ -1,0 +1,64 @@
+"""NetworkX reference implementations — the test suite's ground truth.
+
+Never used by the framework itself; tests compare every engine (optimised,
+naive, baseline) against these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "oracle_khop_reach",
+    "oracle_bfs_levels",
+    "oracle_pagerank",
+    "oracle_sssp",
+]
+
+
+def oracle_khop_reach(edges: EdgeList, source: int, k: int | None) -> set[int]:
+    """Vertices within ``k`` hops of ``source`` (``None`` = unbounded)."""
+    import networkx as nx
+
+    g = edges.to_networkx()
+    lengths = nx.single_source_shortest_path_length(g, source, cutoff=k)
+    return set(lengths)
+
+
+def oracle_bfs_levels(edges: EdgeList, source: int) -> np.ndarray:
+    """Hop distances (-1 unreachable) from ``source``."""
+    import networkx as nx
+
+    g = edges.to_networkx()
+    lengths = nx.single_source_shortest_path_length(g, source)
+    out = np.full(edges.num_vertices, -1, dtype=np.int64)
+    for v, d in lengths.items():
+        out[v] = d
+    return out
+
+
+def oracle_pagerank(
+    edges: EdgeList, damping: float = 0.85, tol: float = 1e-10
+) -> np.ndarray:
+    """Converged, normalised PageRank vector."""
+    import networkx as nx
+
+    g = edges.to_networkx()
+    pr = nx.pagerank(g, alpha=damping, tol=tol, max_iter=200)
+    return np.array([pr[v] for v in range(edges.num_vertices)])
+
+
+def oracle_sssp(edges: EdgeList, source: int) -> np.ndarray:
+    """Weighted shortest distances (inf unreachable) from ``source``."""
+    import networkx as nx
+
+    if not edges.is_weighted:
+        raise ValueError("oracle_sssp needs a weighted graph")
+    g = edges.to_networkx()
+    dist = nx.single_source_dijkstra_path_length(g, source)
+    out = np.full(edges.num_vertices, np.inf)
+    for v, d in dist.items():
+        out[v] = d
+    return out

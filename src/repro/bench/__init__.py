@@ -1,0 +1,30 @@
+"""Benchmark harness: workloads, timing, reports, per-figure experiments.
+
+Every table and figure in the paper's evaluation (§4) has a driver in
+:mod:`repro.bench.experiments` that regenerates its rows/series on the
+scaled analog datasets; ``benchmarks/`` wraps each driver in a
+pytest-benchmark target.  EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.bench.workload import QueryWorkload, random_sources
+from repro.bench.timing import (
+    ResponseTimes,
+    percentile,
+    fraction_within,
+    histogram_fractions,
+)
+from repro.bench.report import format_table, format_histogram, format_series
+from repro.bench import experiments
+
+__all__ = [
+    "QueryWorkload",
+    "random_sources",
+    "ResponseTimes",
+    "percentile",
+    "fraction_within",
+    "histogram_fractions",
+    "format_table",
+    "format_histogram",
+    "format_series",
+    "experiments",
+]

@@ -1,0 +1,894 @@
+"""Per-figure experiment drivers reproducing the paper's evaluation (§4).
+
+Each ``figN_*`` / ``table1`` function regenerates the rows/series of the
+corresponding figure or table on the scaled analog datasets and returns a
+result object whose ``report()`` prints them in the paper's layout.
+
+Measurement conventions (see DESIGN.md):
+
+* **Figures 7 and 8a** are single-machine comparisons against the
+  Titan-like database — both systems' per-traversal *service times* are
+  real wall-clock measurements; concurrency is then applied identically via
+  the deterministic FIFO-pool model, so the comparison is measured work,
+  fairly scheduled.
+* **Figures 8b–13** are cluster experiments; times are *virtual seconds*
+  from the network cost model over counted work (the offline substitute for
+  the paper's 9-node testbed).  Shapes, ratios and crossovers are the
+  reproduction target, not absolute values.
+* Figures 7–12 use the paper's default per-query execution ("executed
+  individually in request order"); Figure 13 uses bit-parallel batches
+  ("we enabled bit operations in this experiment").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.graphdb import TitanLikeDB
+from repro.baselines.serial import GeminiLikeEngine
+from repro.bench.report import format_histogram, format_series, format_table
+from repro.bench.timing import ResponseTimes
+from repro.bench.workload import QueryWorkload, random_sources
+from repro.core.batch import run_query_stream
+from repro.core.khop import concurrent_khop
+from repro.core.pagerank import pagerank
+from repro.graph.analysis import degree_statistics, effective_diameter, hop_plot
+from repro.graph.datasets import DATASETS, dataset_table, load_dataset, runtime_scale
+from repro.graph.partition import PartitionedGraph, range_partition
+from repro.runtime.netmodel import NetworkModel
+from repro.runtime.scheduler import QueryScheduler
+
+__all__ = [
+    "calibrated_netmodel",
+    "pooled_sources",
+    "table1",
+    "fig1_hop_plot",
+    "fig7_vs_titan",
+    "fig8a_distribution_vs_titan",
+    "fig8b_distribution_vs_gemini",
+    "fig9_data_size_scalability",
+    "fig10_pagerank_scaling",
+    "fig11_machine_scaling",
+    "fig12_query_count_scaling",
+    "fig13_bfs_vs_gemini",
+    "ablation_edge_sets",
+    "ablation_batch_width",
+    "ablation_async",
+    "ablation_memory",
+    "ablation_out_of_core",
+    "ablation_wide_batches",
+    "per_query_service_seconds",
+]
+
+PAPER_BINS = np.arange(0.0, 2.2, 0.2)  # the Fig 11/12 histogram bins (seconds)
+
+
+def calibrated_netmodel(
+    dataset_name: str,
+    scale: float | None = None,
+    base: NetworkModel | None = None,
+) -> NetworkModel:
+    """A cost model whose virtual seconds represent *paper-scale* work.
+
+    The analogs shrink vertex/edge counts by a factor ``s`` (×10⁻³/×10⁻⁴,
+    times ``REPRO_SCALE``), but real network latencies and barrier costs are
+    per-superstep constants that do not shrink with graph size — using them
+    raw would make communication look ``1/s`` times more expensive relative
+    to compute than on the paper's testbed.  Calibration restores the ratio:
+    per-edge/per-vertex compute cost is multiplied by ``1/s`` and bandwidth
+    by ``s`` (each analog byte stands for ``1/s`` real bytes), while latency
+    and barrier stay fixed (superstep counts are scale-invariant).  Virtual
+    times then land near the paper's absolute ranges, and — more importantly
+    — the compute/communication split that drives every scalability shape
+    matches the testbed's.
+    """
+    from dataclasses import replace
+
+    spec = DATASETS[dataset_name.upper()]
+    s = spec.edges * (scale if scale is not None else runtime_scale())
+    s /= spec.paper_edges
+    base = base or NetworkModel()
+    return replace(
+        base,
+        seconds_per_edge=base.seconds_per_edge / s,
+        seconds_per_vertex=base.seconds_per_vertex / s,
+        bandwidth_bytes_per_second=base.bandwidth_bytes_per_second * s,
+    )
+
+
+def per_query_service_seconds(
+    pg: PartitionedGraph,
+    roots: np.ndarray,
+    k: int | None,
+    netmodel: NetworkModel | None = None,
+    use_edge_sets: bool = False,
+) -> np.ndarray:
+    """Virtual service time of each query run standalone (§3.3 individual mode).
+
+    Repeated roots are costed once (service time is a deterministic function
+    of the root), which lets the large-query-count experiments sample roots
+    from a pool without re-running identical traversals.
+    """
+    roots = np.asarray(roots)
+    unique, inverse = np.unique(roots, return_inverse=True)
+    per_unique = np.empty(unique.size)
+    for i, s in enumerate(unique):
+        res = concurrent_khop(
+            pg, [int(s)], k, netmodel=netmodel, use_edge_sets=use_edge_sets
+        )
+        per_unique[i] = res.virtual_seconds
+    return per_unique[inverse]
+
+
+def pooled_sources(el, count: int, distinct: int | None, seed) -> np.ndarray:
+    """``count`` roots drawn from a pool of at most ``distinct`` vertices.
+
+    Bounds the number of standalone traversals the harness must cost while
+    keeping the response-time sample size at ``count``.
+    """
+    if distinct is None or distinct >= count:
+        return random_sources(el, count, seed=seed)
+    rng = np.random.default_rng(seed)
+    pool = random_sources(el, distinct, seed=seed)
+    return rng.choice(pool, size=count, replace=True)
+
+
+# --------------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Table1Result:
+    rows: list[dict]
+
+    def report(self) -> str:
+        return format_table(self.rows, title="Table 1: datasets (paper vs analog)")
+
+
+def table1(scale: float | None = None, build: bool = True) -> Table1Result:
+    """Reproduce Table 1: dataset inventory, paper sizes next to analogs."""
+    return Table1Result(rows=dataset_table(scale=scale, build=build))
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1 — hop plot
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig1Result:
+    distances: np.ndarray
+    cdf: np.ndarray
+    diameter: int
+    d50: float
+    d90: float
+    paper = {"diameter": 12, "d50": 3.51, "d90": 4.71}
+
+    def report(self) -> str:
+        rows = [
+            {"distance": int(d), "cumulative_pct": 100.0 * c}
+            for d, c in zip(self.distances, self.cdf)
+        ]
+        head = format_table(rows, title="Figure 1: hop plot (Slashdot-Zoo analog)")
+        return (
+            f"{head}\n"
+            f"diameter={self.diameter}  delta_0.5={self.d50:.2f}  "
+            f"delta_0.9={self.d90:.2f}  "
+            f"(paper: 12 / 3.51 / 4.71)"
+        )
+
+
+def fig1_hop_plot(
+    scale: float | None = None, num_sources: int = 200, seed: int = 0
+) -> Fig1Result:
+    """Reproduce Figure 1 on the small-world Slashdot-Zoo analog."""
+    el = load_dataset("SLASHDOT-ZOO", scale)
+    d, cdf = hop_plot(el, num_sources=num_sources, seed=seed)
+    return Fig1Result(
+        distances=d,
+        cdf=cdf,
+        diameter=int(d[-1]),
+        d50=effective_diameter(d, cdf, 0.5),
+        d90=effective_diameter(d, cdf, 0.9),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7 / 8a — single machine vs Titan (wall clock)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig7Result:
+    cgraph_sorted: np.ndarray
+    titan_sorted: np.ndarray
+    speedup_min: float
+    speedup_max: float
+    cgraph_traversals: ResponseTimes = field(repr=False)
+    titan_traversals: ResponseTimes = field(repr=False)
+    paper = {"speedup_min": 21.0, "speedup_max": 74.0}
+
+    def report(self) -> str:
+        rows = [
+            {
+                "query_rank": i,
+                "cgraph_s": float(self.cgraph_sorted[i]),
+                "titan_s": float(self.titan_sorted[i]),
+            }
+            for i in range(0, len(self.cgraph_sorted), max(len(self.cgraph_sorted) // 20, 1))
+        ]
+        head = format_table(
+            rows, title="Figure 7: 100 concurrent 3-hop queries vs Titan (sorted)"
+        )
+        return (
+            f"{head}\nper-rank speedup: {self.speedup_min:.1f}x - "
+            f"{self.speedup_max:.1f}x  (paper: 21x - 74x)"
+        )
+
+
+def fig7_vs_titan(
+    num_queries: int = 100,
+    roots_per_query: int = 10,
+    k: int = 3,
+    scale: float | None = None,
+    concurrency: int = 16,
+    seed: int = 0,
+) -> Fig7Result:
+    """Reproduce Figure 7: per-query response times, C-Graph vs Titan-like.
+
+    Both systems' per-traversal service times are wall-clock measured on the
+    OR-100M analog; both streams are scheduled on the same FIFO pool; the
+    figure's value per query is the mean of its 10 traversals, sorted
+    ascending.
+    """
+    el = load_dataset("OR-100M", scale)
+    workload = QueryWorkload.generate(el, num_queries, k, roots_per_query, seed=seed)
+    roots = workload.all_roots()
+
+    pg = range_partition(el, 1)
+    cgraph_service = np.empty(roots.size)
+    for i, s in enumerate(roots):
+        t0 = time.perf_counter()
+        concurrent_khop(pg, [int(s)], k)
+        cgraph_service[i] = time.perf_counter() - t0
+
+    db = TitanLikeDB(el)
+    titan_service = np.array([db.timed_khop_query(int(s), k)[0] for s in roots])
+
+    sched = QueryScheduler(num_machines=1, slots_per_machine=concurrency)
+    cg_resp = ResponseTimes("C-Graph", sched.pool(cgraph_service))
+    ti_resp = ResponseTimes("Titan", sched.pool(titan_service))
+
+    cg_q = ResponseTimes("C-Graph", workload.per_query_mean(cg_resp.seconds))
+    ti_q = ResponseTimes("Titan", workload.per_query_mean(ti_resp.seconds))
+    s_min, s_max = cg_q.speedup_over(ti_q)
+    return Fig7Result(
+        cgraph_sorted=cg_q.sorted(),
+        titan_sorted=ti_q.sorted(),
+        speedup_min=s_min,
+        speedup_max=s_max,
+        cgraph_traversals=cg_resp,
+        titan_traversals=ti_resp,
+    )
+
+
+@dataclass
+class Fig8aResult:
+    cgraph: dict
+    titan: dict
+    mean_ratio: float
+    paper = {"titan_mean_s": 8.6, "cgraph_mean_s": 0.25}
+
+    def report(self) -> str:
+        head = format_table(
+            [self.cgraph, self.titan],
+            title="Figure 8a: 1000-traversal response-time distribution vs Titan",
+        )
+        return (
+            f"{head}\nTitan/C-Graph mean ratio: {self.mean_ratio:.1f}x "
+            f"(paper: 8.6s / 0.25s = 34x)"
+        )
+
+
+def fig8a_distribution_vs_titan(fig7: Fig7Result | None = None, **kwargs) -> Fig8aResult:
+    """Reproduce Figure 8a from the Figure 7 run's full traversal sample."""
+    if fig7 is None:
+        fig7 = fig7_vs_titan(**kwargs)
+    cg = fig7.cgraph_traversals.summary()
+    ti = fig7.titan_traversals.summary()
+    return Fig8aResult(
+        cgraph=cg, titan=ti, mean_ratio=ti["mean"] / max(cg["mean"], 1e-12)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 8b — 3 machines vs Gemini (virtual time)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig8bResult:
+    cgraph: dict
+    gemini: dict
+    mean_ratio: float
+    paper = {"gemini_mean_s": 4.25, "cgraph_mean_s": 0.3}
+
+    def report(self) -> str:
+        head = format_table(
+            [self.cgraph, self.gemini],
+            title="Figure 8b: 100 concurrent 3-hop queries vs Gemini (FR analog, 3 machines)",
+        )
+        return (
+            f"{head}\nGemini/C-Graph mean ratio: {self.mean_ratio:.1f}x "
+            f"(paper: 4.25s / 0.3s = 14x)"
+        )
+
+
+def fig8b_distribution_vs_gemini(
+    num_queries: int = 100,
+    k: int = 3,
+    num_machines: int = 3,
+    scale: float | None = None,
+    seed: int = 1,
+) -> Fig8bResult:
+    """Reproduce Figure 8b: serialized Gemini vs pooled C-Graph (virtual)."""
+    el = load_dataset("FR-1B", scale)
+    nm = calibrated_netmodel("FR-1B", scale)
+    pg = range_partition(el, num_machines)
+    roots = random_sources(el, num_queries, seed=seed)
+    service = per_query_service_seconds(pg, roots, k, netmodel=nm)
+
+    sched = QueryScheduler(num_machines=num_machines)
+    cg = ResponseTimes("C-Graph", sched.pool(service))
+    gemini_engine = GeminiLikeEngine(pg, netmodel=nm)
+    ge = ResponseTimes("Gemini", gemini_engine.serialized_response_times(roots, k))
+    return Fig8bResult(
+        cgraph=cg.summary(),
+        gemini=ge.summary(),
+        mean_ratio=ge.mean / max(cg.mean, 1e-12),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9 — data size scalability (virtual time)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig9Result:
+    per_dataset: dict[str, ResponseTimes]
+    avg_root_degree: dict[str, float]
+    paper = {
+        "FR-1B": {"pct85_s": 0.4, "max_s": 1.2},
+        "FRS-100B": {"pct85_s": 0.6, "max_s": 1.6},
+    }
+
+    def report(self) -> str:
+        rows = []
+        for name, rt in self.per_dataset.items():
+            rows.append(
+                {
+                    "dataset": name,
+                    "avg_root_deg": self.avg_root_degree[name],
+                    "p85": rt.percentile(85),
+                    "max": rt.max,
+                    "mean": rt.mean,
+                }
+            )
+        return format_table(
+            rows,
+            title="Figure 9: 100 concurrent 3-hop queries, 9 machines "
+            "(paper: 85% within 0.4s/0.6s; max 1.2s/1.6s for FR/FRS)",
+        )
+
+
+def fig9_data_size_scalability(
+    num_queries: int = 100,
+    k: int = 3,
+    num_machines: int = 9,
+    datasets=("OR-100M", "FR-1B", "FRS-100B"),
+    scale: float | None = None,
+    seed: int = 2,
+    distinct_roots: int | None = None,
+) -> Fig9Result:
+    """Reproduce Figure 9: response-time growth with dataset size.
+
+    ``distinct_roots`` caps how many standalone traversals are costed (roots
+    are then sampled from that pool), bounding harness wall time on the
+    densest analog.
+    """
+    per_dataset: dict[str, ResponseTimes] = {}
+    avg_deg: dict[str, float] = {}
+    sched = QueryScheduler(num_machines=num_machines)
+    for name in datasets:
+        el = load_dataset(name, scale)
+        nm = calibrated_netmodel(name, scale)
+        pg = range_partition(el, num_machines)
+        roots = pooled_sources(el, num_queries, distinct_roots, seed)
+        service = per_query_service_seconds(pg, roots, k, netmodel=nm)
+        per_dataset[name] = ResponseTimes(name, sched.pool(service))
+        avg_deg[name] = float(el.out_degrees()[roots].mean())
+    return Fig9Result(per_dataset=per_dataset, avg_root_degree=avg_deg)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10 — PageRank multi-machine scalability (virtual time)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig10Result:
+    machines: list[int]
+    normalized: dict[str, np.ndarray]  # dataset -> time normalised to 1 machine
+    paper = {
+        "FR-1B": {3: 1 / 1.8, 6: 1 / 2.4, 9: 1 / 2.9},
+        "FRS-72B": {9: 1 / 4.5},
+        "note": "OR-100M stops scaling beyond 6 machines",
+    }
+
+    def report(self) -> str:
+        return format_series(
+            self.machines,
+            self.normalized,
+            x_label="machines",
+            title="Figure 10: PageRank time normalised to 1 machine "
+            "(paper: FR 0.56/0.42/0.34 at p=3/6/9; FRS-72B best; OR degrades)",
+        )
+
+
+def fig10_pagerank_scaling(
+    machines=(1, 2, 3, 4, 5, 6, 7, 8, 9),
+    datasets=("OR-100M", "FR-1B", "FRS-72B"),
+    iterations: int = 10,
+    scale: float | None = None,
+) -> Fig10Result:
+    """Reproduce Figure 10: PageRank virtual time vs machine count."""
+    normalized: dict[str, np.ndarray] = {}
+    for name in datasets:
+        el = load_dataset(name, scale)
+        nm = calibrated_netmodel(name, scale)
+        times = []
+        for p in machines:
+            run = pagerank(el, iterations=iterations, num_machines=p, netmodel=nm)
+            times.append(run.virtual_seconds)
+        times = np.asarray(times)
+        normalized[name] = times / times[0]
+    return Fig10Result(machines=list(machines), normalized=normalized)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 11 — machine-count scaling of 100 queries (virtual time)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig11Result:
+    per_machines: dict[int, ResponseTimes]
+    boundary_vertices: dict[int, int]
+    bins: np.ndarray
+    paper = {"pct_within_0.2s": 80.0, "pct_within_1s": 90.0}
+
+    def report(self) -> str:
+        parts = []
+        for p, rt in self.per_machines.items():
+            parts.append(
+                format_histogram(
+                    self.bins,
+                    rt.histogram(self.bins),
+                    title=f"Figure 11: {p} machine(s) — 100 3-hop queries, FR analog "
+                    f"(boundary vertices: {self.boundary_vertices[p]})",
+                )
+            )
+            parts.append(
+                f"  within 0.2s: {100 * rt.fraction_within(0.2):.0f}%   "
+                f"within 1.0s: {100 * rt.fraction_within(1.0):.0f}%   "
+                f"(paper: 80% / 90%)"
+            )
+        return "\n".join(parts)
+
+
+def fig11_machine_scaling(
+    machines=(1, 3, 6, 9),
+    num_queries: int = 100,
+    k: int = 3,
+    scale: float | None = None,
+    seed: int = 3,
+) -> Fig11Result:
+    """Reproduce Figure 11: response-time histograms vs machine count."""
+    el = load_dataset("FR-1B", scale)
+    nm = calibrated_netmodel("FR-1B", scale)
+    roots = random_sources(el, num_queries, seed=seed)
+    per_machines: dict[int, ResponseTimes] = {}
+    boundary: dict[int, int] = {}
+    for p in machines:
+        pg = range_partition(el, p)
+        service = per_query_service_seconds(pg, roots, k, netmodel=nm)
+        sched = QueryScheduler(num_machines=p)
+        per_machines[p] = ResponseTimes(f"{p} machines", sched.pool(service))
+        boundary[p] = pg.total_boundary_vertices()
+    return Fig11Result(
+        per_machines=per_machines, boundary_vertices=boundary, bins=PAPER_BINS
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 12 — query-count scaling (virtual time)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig12Result:
+    per_count: dict[int, ResponseTimes]
+    bins: np.ndarray
+    paper = {
+        "q<=100": "80% within 0.6s, 90% within 1s",
+        "q=350": "40% within 1s, 60% within 2s, tail 4-7s",
+    }
+
+    def degradation_ratio(self) -> float:
+        """Max response at the largest count over max at the smallest count.
+
+        The figure's claim in one number: paper ≈ 7s / 1.6s ≈ 4.4×.
+        """
+        counts = sorted(self.per_count)
+        return self.per_count[counts[-1]].max / max(
+            self.per_count[counts[0]].max, 1e-12
+        )
+
+    def report(self) -> str:
+        parts = []
+        for q, rt in self.per_count.items():
+            parts.append(
+                format_histogram(
+                    self.bins,
+                    rt.histogram(self.bins),
+                    title=f"Figure 12: {q} concurrent queries — FRS-100B analog, "
+                    f"9 machines (bins scaled to the analog's response range)",
+                )
+            )
+            parts.append(
+                f"  within 1s: {100 * rt.fraction_within(1.0):.0f}%   "
+                f"within 2s: {100 * rt.fraction_within(2.0):.0f}%   max: {rt.max:.2f}s"
+            )
+        parts.append(
+            f"degradation max(q_max)/max(q_min): {self.degradation_ratio():.1f}x "
+            f"(paper: ~4.4x from 1.6s to 7s)"
+        )
+        return "\n".join(parts)
+
+
+def fig12_query_count_scaling(
+    counts=(20, 50, 100, 350),
+    k: int = 3,
+    num_machines: int = 9,
+    scale: float | None = None,
+    seed: int = 4,
+    distinct_roots: int | None = 80,
+) -> Fig12Result:
+    """Reproduce Figure 12: degradation as the concurrent-query count grows.
+
+    Roots for the 350-query stream are sampled from an 80-root pool by
+    default (service times are per-root deterministic, see
+    :func:`per_query_service_seconds`), which keeps the harness wall time
+    bounded on the dense FRS-100B analog without changing the response-time
+    distribution shape.
+    """
+    el = load_dataset("FRS-100B", scale)
+    nm = calibrated_netmodel("FRS-100B", scale)
+    pg = range_partition(el, num_machines)
+    max_count = max(counts)
+    roots = pooled_sources(el, max_count, distinct_roots, seed)
+    service_all = per_query_service_seconds(pg, roots, k, netmodel=nm)
+    sched = QueryScheduler(num_machines=num_machines)
+    per_count = {
+        q: ResponseTimes(f"{q} queries", sched.pool(service_all[:q])) for q in counts
+    }
+    # The FRS-100B analog saturates under 3 hops (see EXPERIMENTS.md), so an
+    # absolute 0-2 s histogram can be empty; rescale the paper's bin layout
+    # to the observed range when needed, keeping the paper bins when they
+    # already capture the mass.
+    smallest = per_count[min(counts)]
+    if smallest.fraction_within(PAPER_BINS[-1]) >= 0.5:
+        bins = PAPER_BINS
+    else:
+        bins = PAPER_BINS * (smallest.percentile(90) / PAPER_BINS[-2])
+    return Fig12Result(per_count=per_count, bins=bins)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 13 — concurrent BFS vs Gemini, bit ops enabled (virtual time)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig13Result:
+    counts: list[int]
+    cgraph_total: np.ndarray
+    gemini_total: np.ndarray
+    paper = {"ratio_at_64": 1.7, "ratio_at_128": 1.7, "ratio_at_256": 2.4}
+
+    def ratios(self) -> np.ndarray:
+        return self.gemini_total / np.maximum(self.cgraph_total, 1e-12)
+
+    def report(self) -> str:
+        head = format_series(
+            self.counts,
+            {"C-Graph_s": self.cgraph_total, "Gemini_s": self.gemini_total,
+             "ratio": self.ratios()},
+            x_label="concurrent_BFS",
+            title="Figure 13: concurrent BFS total time, FR analog, 3 machines "
+            "(paper: 1.7x at 64/128, 2.4x at 256; Gemini linear, C-Graph sublinear)",
+        )
+        return head
+
+
+def fig13_bfs_vs_gemini(
+    counts=(1, 64, 128, 256),
+    num_machines: int = 3,
+    scale: float | None = None,
+    seed: int = 5,
+) -> Fig13Result:
+    """Reproduce Figure 13: bit-parallel batched BFS vs serialized Gemini."""
+    el = load_dataset("FR-1B", scale)
+    nm = calibrated_netmodel("FR-1B", scale)
+    pg = range_partition(el, num_machines)
+    max_count = max(counts)
+    roots = random_sources(el, max_count, seed=seed)
+    gemini = GeminiLikeEngine(pg, netmodel=nm)
+    single = np.array(
+        [gemini.single_query_seconds(int(s), None) for s in roots]
+    )
+    cg_total, ge_total = [], []
+    for q in counts:
+        stream = run_query_stream(pg, roots[:q], k=None, batch_width=64, netmodel=nm)
+        cg_total.append(stream.total_seconds)
+        ge_total.append(float(single[:q].sum()))
+    return Fig13Result(
+        counts=list(counts),
+        cgraph_total=np.asarray(cg_total),
+        gemini_total=np.asarray(ge_total),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Ablations (design choices DESIGN.md calls out)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class AblationResult:
+    name: str
+    rows: list[dict]
+
+    def report(self) -> str:
+        return format_table(self.rows, title=f"Ablation: {self.name}")
+
+
+def ablation_edge_sets(
+    dataset: str = "OR-100M",
+    num_queries: int = 32,
+    k: int = 3,
+    num_machines: int = 3,
+    scale: float | None = None,
+    seed: int = 6,
+) -> AblationResult:
+    """Edge-set blocked scan vs flat CSR scan (same answers, counted work)."""
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    roots = random_sources(el, num_queries, seed=seed)
+    rows = []
+    for use_es, label in ((False, "flat CSR"), (True, "edge-sets")):
+        pg = range_partition(el, num_machines)
+        if use_es:
+            pg.build_edge_sets(sets_per_partition=8, consolidate_min_edges=4096)
+        t0 = time.perf_counter()
+        res = concurrent_khop(pg, roots, k, use_edge_sets=use_es, netmodel=nm)
+        wall = time.perf_counter() - t0
+        rows.append(
+            {
+                "variant": label,
+                "wall_s": wall,
+                "virtual_s": res.virtual_seconds,
+                "edges_scanned": res.total_edges_scanned,
+                "reached_total": int(res.reached.sum()),
+            }
+        )
+    return AblationResult("edge-set blocking vs flat CSR", rows)
+
+
+def ablation_batch_width(
+    dataset: str = "OR-100M",
+    num_queries: int = 64,
+    k: int = 3,
+    widths=(1, 8, 16, 32, 64),
+    num_machines: int = 3,
+    scale: float | None = None,
+    seed: int = 7,
+) -> AblationResult:
+    """Bit-parallel batch width sweep: W=1 is the no-bit-ops baseline (§3.5)."""
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    pg = range_partition(el, num_machines)
+    roots = random_sources(el, num_queries, seed=seed)
+    rows = []
+    for w in widths:
+        stream = run_query_stream(pg, roots, k, batch_width=w, netmodel=nm)
+        rows.append(
+            {
+                "batch_width": w,
+                "total_virtual_s": stream.total_seconds,
+                "edges_scanned": stream.total_edges_scanned,
+                "supersteps": stream.total_supersteps,
+            }
+        )
+    return AblationResult("bit-parallel batch width", rows)
+
+
+def ablation_async(
+    dataset: str = "OR-100M",
+    num_machines: int = 4,
+    iterations: int = 10,
+    scale: float | None = None,
+    seed: int = 8,
+) -> AblationResult:
+    """Synchronous barrier vs asynchronous overlap (§3.3 update models)."""
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    rows = []
+    for asynchronous, label in ((False, "sync"), (True, "async")):
+        run = pagerank(
+            el, iterations=iterations, num_machines=num_machines,
+            asynchronous=asynchronous, netmodel=nm,
+        )
+        rows.append(
+            {
+                "mode": label,
+                "virtual_s": run.virtual_seconds,
+                "iterations": run.iterations,
+            }
+        )
+    roots = random_sources(el, 16, seed=seed)
+    for asynchronous, label in ((False, "sync"), (True, "async")):
+        res = concurrent_khop(el, roots, 3, num_machines=num_machines,
+                              asynchronous=asynchronous, netmodel=nm)
+        rows.append(
+            {
+                "mode": f"khop-{label}",
+                "virtual_s": res.virtual_seconds,
+                "iterations": res.supersteps,
+            }
+        )
+    return AblationResult("sync vs async update model", rows)
+
+
+def ablation_memory(
+    dataset: str = "FR-1B",
+    num_queries: int = 64,
+    k: int = 1,
+    scale: float | None = None,
+    seed: int = 9,
+) -> AblationResult:
+    """Level-limited value storage vs dense per-vertex values (§3.3).
+
+    The paper's optimisation pays off in the regime it targets: frontiers
+    much smaller than the vertex count (billion-scale graphs, small k).
+    The analog datasets are small enough that a saturating 3-hop frontier
+    can approach ``n``, so the default here is the unsaturated ``k=1`` case
+    on the larger FR analog — the faithful stand-in for the paper's regime.
+    """
+    from repro.graph.properties import DenseVertexValues, LevelLimitedValues
+
+    el = load_dataset(dataset, scale)
+    roots = random_sources(el, num_queries, seed=seed)
+    res = concurrent_khop(el, roots, k, record_depths=True)
+    dense = DenseVertexValues(el.num_vertices, num_queries)
+    limited = LevelLimitedValues(num_queries)
+    depths = res.depths
+    for q in range(num_queries):
+        for level in range(k + 1):
+            verts = np.nonzero(depths[:, q] == level)[0]
+            limited.push_level(q, level, verts, np.full(verts.size, float(level)))
+    rows = [
+        {"store": "dense per-vertex", "bytes": dense.nbytes()},
+        {"store": "level-limited (peak)", "bytes": limited.peak_nbytes},
+        {
+            "store": "ratio",
+            "bytes": round(dense.nbytes() / max(limited.peak_nbytes, 1), 2),
+        },
+    ]
+    return AblationResult("level-limited vs dense vertex values", rows)
+
+
+def ablation_out_of_core(
+    dataset: str = "OR-100M",
+    num_queries: int = 16,
+    k: int = 3,
+    num_machines: int = 3,
+    cache_blocks=(0, 2, 8, 64),
+    scale: float | None = None,
+    seed: int = 10,
+) -> AblationResult:
+    """Disk-resident edge-sets: cache size and consolidation vs I/O cost.
+
+    Reproduces §3.2's consolidation argument quantitatively: tiny edge-sets
+    force many small disk reads; merging them (or growing the block cache)
+    collapses the I/O term of the virtual time.
+    """
+    from repro.core.ooc import concurrent_khop_out_of_core
+
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    roots = random_sources(el, num_queries, seed=seed)
+    rows = []
+    for cache in cache_blocks:
+        res = concurrent_khop_out_of_core(
+            range_partition(el, num_machines), roots, k,
+            netmodel=nm, cache_blocks=cache, sets_per_partition=8,
+        )
+        rows.append(
+            {
+                "variant": f"cache={cache}",
+                "disk_reads": res.disk_reads,
+                "disk_MB": round(res.disk_bytes_read / 1e6, 2),
+                "hit_rate": round(res.cache_hit_rate, 3),
+                "virtual_s": res.virtual_seconds,
+            }
+        )
+    consolidated = concurrent_khop_out_of_core(
+        range_partition(el, num_machines), roots, k,
+        netmodel=nm, cache_blocks=cache_blocks[1],
+        sets_per_partition=8, consolidate_min_edges=el.num_edges // 8,
+    )
+    rows.append(
+        {
+            "variant": f"cache={cache_blocks[1]}+consolidated",
+            "disk_reads": consolidated.disk_reads,
+            "disk_MB": round(consolidated.disk_bytes_read / 1e6, 2),
+            "hit_rate": round(consolidated.cache_hit_rate, 3),
+            "virtual_s": consolidated.virtual_seconds,
+        }
+    )
+    return AblationResult("out-of-core edge-sets: cache size & consolidation", rows)
+
+
+def ablation_wide_batches(
+    dataset: str = "OR-100M",
+    num_queries: int = 256,
+    k: int = 3,
+    num_machines: int = 3,
+    scale: float | None = None,
+    seed: int = 11,
+) -> AblationResult:
+    """Cache-line-wide batches (512 bits) vs word-wide batch streams (§3.5).
+
+    One multi-word pass shares traversal work across every query in the
+    stream; the word-wide stream pays one pass per 64-query batch.
+    """
+    from repro.core.wide import concurrent_khop_wide
+
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    pg = range_partition(el, num_machines)
+    roots = random_sources(el, num_queries, seed=seed)
+    stream = run_query_stream(pg, roots, k, batch_width=64, netmodel=nm)
+    wide = concurrent_khop_wide(pg, roots, k, netmodel=nm)
+    rows = [
+        {
+            "variant": "64-wide batch stream",
+            "edges_scanned": stream.total_edges_scanned,
+            "virtual_s": stream.total_seconds,
+            "passes": stream.num_batches,
+        },
+        {
+            "variant": f"{num_queries}-wide single batch ({wide.words} words)",
+            "edges_scanned": wide.total_edges_scanned,
+            "virtual_s": wide.virtual_seconds,
+            "passes": 1,
+        },
+    ]
+    assert (wide.reached == stream.reached).all()
+    return AblationResult("cache-line-wide vs word-wide batches", rows)

@@ -1,0 +1,141 @@
+"""Export experiment results to CSV/JSON for external plotting.
+
+The drivers' ``report()`` strings regenerate the paper's figures as text;
+this module persists the same data machine-readably so downstream users can
+plot with their tool of choice.  Every experiment result type is covered by
+:func:`result_rows`, which normalises a result object into a list of flat
+dict rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["result_rows", "write_csv", "write_json", "export_result"]
+
+
+def _scalar(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def result_rows(result) -> list[dict]:
+    """Flatten any experiment result object into homogeneous dict rows.
+
+    Dispatches on the attributes the bench result dataclasses expose:
+    ``rows`` (tables/ablations), per-series mappings (Fig 10/13 results),
+    response-time collections (Fig 9/11/12), distribution summaries (Fig 8)
+    and sorted-curve pairs (Fig 7); falls back to the public scalar
+    attributes of the object.
+    """
+    # explicit tables (Table1Result, AblationResult)
+    if hasattr(result, "rows"):
+        return [dict(r) for r in result.rows]
+    # Fig 10-style: x plus named series
+    if hasattr(result, "machines") and hasattr(result, "normalized"):
+        rows = []
+        for i, p in enumerate(result.machines):
+            row = {"machines": p}
+            for name, series in result.normalized.items():
+                row[name] = _scalar(np.asarray(series)[i])
+            rows.append(row)
+        return rows
+    # Fig 13-style: counts plus totals
+    if hasattr(result, "counts") and hasattr(result, "cgraph_total"):
+        return [
+            {
+                "concurrent_queries": int(c),
+                "cgraph_seconds": _scalar(result.cgraph_total[i]),
+                "gemini_seconds": _scalar(result.gemini_total[i]),
+            }
+            for i, c in enumerate(result.counts)
+        ]
+    # Fig 7-style: sorted curves
+    if hasattr(result, "cgraph_sorted"):
+        return [
+            {
+                "rank": i,
+                "cgraph_seconds": _scalar(result.cgraph_sorted[i]),
+                "titan_seconds": _scalar(result.titan_sorted[i]),
+            }
+            for i in range(len(result.cgraph_sorted))
+        ]
+    # Fig 1-style: hop-plot curve
+    if hasattr(result, "cdf") and hasattr(result, "distances"):
+        return [
+            {"distance": int(d), "cumulative_fraction": _scalar(c)}
+            for d, c in zip(result.distances, result.cdf)
+        ]
+    # response-time collections (Fig 9/11/12)
+    for attr, key in (
+        ("per_dataset", "dataset"),
+        ("per_machines", "machines"),
+        ("per_count", "queries"),
+    ):
+        if hasattr(result, attr):
+            rows = []
+            for label, rt in getattr(result, attr).items():
+                row = {key: label}
+                row.update({k: _scalar(v) for k, v in rt.summary().items()
+                            if k != "label"})
+                rows.append(row)
+            return rows
+    # Fig 8-style summaries
+    if hasattr(result, "cgraph") and isinstance(result.cgraph, dict):
+        other = "titan" if hasattr(result, "titan") else "gemini"
+        return [
+            {k: _scalar(v) for k, v in result.cgraph.items()},
+            {k: _scalar(v) for k, v in getattr(result, other).items()},
+        ]
+    # fallback: public scalar fields
+    row = {}
+    for name in dir(result):
+        if name.startswith("_"):
+            continue
+        value = getattr(result, name)
+        if isinstance(value, (int, float, str, np.integer, np.floating)):
+            row[name] = _scalar(value)
+    return [row]
+
+
+def write_csv(rows: list[dict], path) -> Path:
+    """Write homogeneous dict rows as CSV; returns the path."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _scalar(v) for k, v in row.items()})
+    return path
+
+
+def write_json(rows: list[dict], path) -> Path:
+    """Write rows as a JSON array; returns the path."""
+    path = Path(path)
+    clean = [{k: _scalar(v) for k, v in row.items()} for row in rows]
+    path.write_text(json.dumps(clean, indent=2))
+    return path
+
+
+def export_result(result, path) -> Path:
+    """Flatten + write a result; format chosen by the file extension."""
+    rows = result_rows(result)
+    path = Path(path)
+    if path.suffix == ".json":
+        return write_json(rows, path)
+    return write_csv(rows, path)

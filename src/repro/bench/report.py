@@ -1,0 +1,72 @@
+"""Plain-text report formatting for the experiment drivers.
+
+Every driver prints the same rows/series the paper's figure shows, in an
+aligned ASCII layout (benchmarks tee this into ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_histogram", "format_series"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Align a list of homogeneous dict rows into a text table."""
+    if not rows:
+        return (title + "\n") if title else ""
+    columns = list(rows[0])
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    bin_edges, percentages, title: str | None = None, width: int = 40
+) -> str:
+    """Render per-bin percentages as a horizontal bar chart (Fig 11/12)."""
+    edges = np.asarray(bin_edges, dtype=np.float64)
+    pct = np.asarray(percentages, dtype=np.float64)
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(pct.max(), 1e-9)
+    for i, p in enumerate(pct):
+        bar = "#" * int(round(p / peak * width))
+        lines.append(f"  {edges[i]:6.2f}-{edges[i + 1]:<6.2f} {p:6.1f}% {bar}")
+    return "\n".join(lines)
+
+
+def format_series(
+    x, series: dict[str, np.ndarray], x_label: str, title: str | None = None
+) -> str:
+    """A multi-line series table (Fig 10/13 style: one column per system)."""
+    x = list(x)
+    names = list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        row = {x_label: xv}
+        for name in names:
+            row[name] = float(np.asarray(series[name])[i])
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,112 @@
+"""Response-time statistics in the paper's vocabulary.
+
+The evaluation reports: per-query response times sorted ascending (Fig 7),
+box distributions (Fig 8), "85% of queries return within 0.4 s" style
+fractions (Fig 9, 11, 12) and histogram bars over 0.2 s bins (Fig 11, 12).
+:class:`ResponseTimes` wraps a response-time vector with those accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "percentile",
+    "fraction_within",
+    "histogram_fractions",
+    "ResponseTimes",
+]
+
+
+def percentile(times, q: float) -> float:
+    """The ``q``-th percentile (0-100) of a response-time sample."""
+    return float(np.percentile(np.asarray(times, dtype=np.float64), q))
+
+
+def fraction_within(times, threshold: float) -> float:
+    """Fraction of queries responding within ``threshold`` seconds."""
+    t = np.asarray(times, dtype=np.float64)
+    if t.size == 0:
+        return 1.0
+    return float((t <= threshold).mean())
+
+
+def histogram_fractions(times, bin_edges) -> np.ndarray:
+    """Per-bin query percentages over explicit edges (the Fig 11/12 bars).
+
+    Returns percentages (0-100) per bin; the final bin is right-inclusive.
+    """
+    t = np.asarray(times, dtype=np.float64)
+    edges = np.asarray(bin_edges, dtype=np.float64)
+    counts, _ = np.histogram(t, bins=edges)  # numpy's last bin is inclusive
+    if t.size == 0:
+        return np.zeros(edges.size - 1)
+    return counts / t.size * 100.0
+
+
+@dataclass
+class ResponseTimes:
+    """A labelled response-time sample with the paper's summary accessors."""
+
+    label: str
+    seconds: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.seconds = np.asarray(self.seconds, dtype=np.float64)
+
+    @property
+    def count(self) -> int:
+        return int(self.seconds.size)
+
+    @property
+    def mean(self) -> float:
+        return float(self.seconds.mean()) if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(self.seconds.max()) if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(self.seconds.min()) if self.count else 0.0
+
+    def sorted(self) -> np.ndarray:
+        """Ascending response times — the Figure 7 x-axis ordering."""
+        return np.sort(self.seconds)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.seconds, q)
+
+    def fraction_within(self, threshold: float) -> float:
+        return fraction_within(self.seconds, threshold)
+
+    def histogram(self, bin_edges) -> np.ndarray:
+        return histogram_fractions(self.seconds, bin_edges)
+
+    def summary(self) -> dict:
+        """min / median / mean / p90 / p99 / max — the Fig 8 box stats."""
+        return {
+            "label": self.label,
+            "count": self.count,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "mean": self.mean,
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def speedup_over(self, other: "ResponseTimes") -> tuple[float, float]:
+        """(min, max) per-rank speedup of self vs a slower system.
+
+        Both samples are sorted ascending and divided rank by rank — the
+        Figure 7 comparison that yields the paper's "21x-74x" band.
+        """
+        if self.count != other.count:
+            raise ValueError("samples must have equal size")
+        ours = np.maximum(self.sorted(), 1e-12)
+        theirs = other.sorted()
+        ratio = theirs / ours
+        return float(ratio.min()), float(ratio.max())

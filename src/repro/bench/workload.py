@@ -1,0 +1,89 @@
+"""Concurrent-query workload generation.
+
+The paper's query workloads are "randomly chosen" source vertices, 10 per
+query for the Figure 7/8a runs ("each query containing 10 source vertices
+... 1000 random subgraph traversals to avoid both graph structure and
+system biases").  :class:`QueryWorkload` reproduces that layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["random_sources", "QueryWorkload"]
+
+
+def random_sources(
+    edges: EdgeList,
+    count: int,
+    seed=0,
+    min_out_degree: int = 1,
+) -> np.ndarray:
+    """``count`` random source vertices (with replacement).
+
+    ``min_out_degree`` excludes isolated roots by default — the paper's
+    response-time discussion keys on "the average degree of root vertices",
+    so degree-0 roots (trivial queries) are not representative.
+    """
+    rng = np.random.default_rng(seed)
+    deg = edges.out_degrees()
+    eligible = np.nonzero(deg >= min_out_degree)[0]
+    if eligible.size == 0:
+        raise ValueError("no vertices satisfy the degree constraint")
+    return rng.choice(eligible, size=count, replace=True).astype(np.int64)
+
+
+@dataclass
+class QueryWorkload:
+    """A set of concurrent queries, each with one or more source roots.
+
+    ``sources[q]`` is query ``q``'s array of roots; the Figure 7 layout is
+    ``num_queries=100, roots_per_query=10``.
+    """
+
+    sources: list[np.ndarray]
+    k: int | None
+
+    @classmethod
+    def generate(
+        cls,
+        edges: EdgeList,
+        num_queries: int,
+        k: int | None,
+        roots_per_query: int = 1,
+        seed=0,
+    ) -> "QueryWorkload":
+        """The paper's workload: random roots, ``roots_per_query`` each."""
+        flat = random_sources(edges, num_queries * roots_per_query, seed=seed)
+        return cls(
+            sources=[
+                flat[q * roots_per_query : (q + 1) * roots_per_query]
+                for q in range(num_queries)
+            ],
+            k=k,
+        )
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.sources)
+
+    @property
+    def roots_per_query(self) -> int:
+        return int(self.sources[0].size) if self.sources else 0
+
+    def all_roots(self) -> np.ndarray:
+        """Every traversal root in query order (the 1000-traversal stream)."""
+        return np.concatenate(self.sources) if self.sources else np.empty(0, np.int64)
+
+    def per_query_mean(self, per_root_values: np.ndarray) -> np.ndarray:
+        """Average a per-root metric back to per-query (Figure 7's y-axis)."""
+        per_root_values = np.asarray(per_root_values, dtype=np.float64)
+        if per_root_values.size != self.num_queries * self.roots_per_query:
+            raise ValueError("per-root array does not match workload shape")
+        return per_root_values.reshape(self.num_queries, self.roots_per_query).mean(
+            axis=1
+        )

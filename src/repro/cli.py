@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror how the paper's framework is operated — inspect the
+dataset registry, issue concurrent queries, run iterative jobs, and
+regenerate any evaluation figure:
+
+.. code-block:: console
+
+   $ python -m repro datasets
+   $ python -m repro khop --dataset OR-100M --queries 16 --k 3 --machines 3
+   $ python -m repro reach --dataset OR-100M --pairs 8 --k 4
+   $ python -m repro pagerank --dataset OR-100M --iterations 10 --machines 4
+   $ python -m repro hopplot --dataset SLASHDOT-ZOO
+   $ python -m repro experiment fig10 --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = {
+    "table1": "table1",
+    "fig1": "fig1_hop_plot",
+    "fig7": "fig7_vs_titan",
+    "fig8a": "fig8a_distribution_vs_titan",
+    "fig8b": "fig8b_distribution_vs_gemini",
+    "fig9": "fig9_data_size_scalability",
+    "fig10": "fig10_pagerank_scaling",
+    "fig11": "fig11_machine_scaling",
+    "fig12": "fig12_query_count_scaling",
+    "fig13": "fig13_bfs_vs_gemini",
+    "ablation-edgesets": "ablation_edge_sets",
+    "ablation-width": "ablation_batch_width",
+    "ablation-ooc": "ablation_out_of_core",
+    "ablation-wide": "ablation_wide_batches",
+    "ablation-async": "ablation_async",
+    "ablation-memory": "ablation_memory",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C-Graph: concurrent graph reachability queries (ICPP 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="show the Table 1 dataset registry")
+
+    def add_common(p):
+        p.add_argument("--dataset", default="OR-100M", help="registry dataset name")
+        p.add_argument("--scale", type=float, default=None,
+                       help="extra dataset scale factor (default REPRO_SCALE)")
+        p.add_argument("--machines", type=int, default=3,
+                       help="simulated machine count")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("khop", help="run concurrent k-hop queries")
+    add_common(p)
+    p.add_argument("--queries", type=int, default=16)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--edge-sets", action="store_true",
+                   help="use the blocked edge-set representation")
+
+    p = sub.add_parser("reach", help="pairwise s->t reachability within k hops")
+    add_common(p)
+    p.add_argument("--pairs", type=int, default=8)
+    p.add_argument("--k", type=int, default=4)
+
+    p = sub.add_parser("pagerank", help="run GAS PageRank")
+    add_common(p)
+    p.add_argument("--iterations", type=int, default=10)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--async", dest="asynchronous", action="store_true",
+                   help="use the asynchronous update model")
+
+    p = sub.add_parser("sssp", help="hop-constrained shortest paths (unit weights)")
+    add_common(p)
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--max-hops", type=int, default=None)
+
+    p = sub.add_parser("kcore", help="k-core decomposition (coreness)")
+    add_common(p)
+
+    p = sub.add_parser("hopplot", help="hop plot / effective diameters (Figure 1)")
+    add_common(p)
+    p.add_argument("--sources", type=int, default=200,
+                   help="BFS roots to sample")
+
+    p = sub.add_parser("path", help="one minimum-hop path between two vertices")
+    add_common(p)
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--target", type=int, default=1)
+    p.add_argument("--k", type=int, default=None)
+
+    p = sub.add_parser("centrality", help="closeness/harmonic centrality via BFS batches")
+    add_common(p)
+    p.add_argument("--kind", choices=["closeness", "harmonic"], default="closeness")
+    p.add_argument("--roots", type=int, default=64, help="sampled roots")
+    p.add_argument("--top", type=int, default=10)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--export", default=None,
+                   help="also write the result rows to this .csv/.json path")
+
+    return parser
+
+
+def _load(args):
+    from repro.graph.datasets import load_dataset
+
+    return load_dataset(args.dataset, args.scale)
+
+
+def cmd_datasets(args, out) -> int:
+    from repro.bench.report import format_table
+    from repro.graph.datasets import dataset_table
+
+    print(format_table(dataset_table(build=False),
+                       title="Dataset registry (Table 1 analogs)"), file=out)
+    return 0
+
+
+def cmd_khop(args, out) -> int:
+    from repro.bench.workload import random_sources
+    from repro.core.batch import run_query_stream
+
+    el = _load(args)
+    roots = random_sources(el, args.queries, seed=args.seed)
+    stream = run_query_stream(
+        el, roots, args.k, num_machines=args.machines,
+        use_edge_sets=args.edge_sets,
+    )
+    print(f"{args.queries} concurrent {args.k}-hop queries on {args.dataset} "
+          f"({args.machines} machines, {stream.num_batches} batch(es))", file=out)
+    for q in range(stream.num_queries):
+        print(f"  source {int(stream.sources[q]):8d}: "
+              f"{int(stream.reached[q]):8d} reached, "
+              f"response {stream.response_seconds[q] * 1e3:9.3f} ms", file=out)
+    print(f"total virtual time: {stream.total_seconds * 1e3:.3f} ms, "
+          f"{stream.total_edges_scanned:,} edges scanned", file=out)
+    return 0
+
+
+def cmd_reach(args, out) -> int:
+    from repro.bench.workload import random_sources
+    from repro.core.reachability import reachability_queries
+
+    el = _load(args)
+    rng = np.random.default_rng(args.seed)
+    sources = random_sources(el, args.pairs, seed=args.seed)
+    targets = rng.integers(0, el.num_vertices, size=args.pairs)
+    res = reachability_queries(el, sources, targets, args.k,
+                               num_machines=args.machines)
+    print(f"{args.pairs} reachability pairs within {args.k} hops on "
+          f"{args.dataset}:", file=out)
+    for q in range(res.num_queries):
+        verdict = f"reachable in {int(res.hops[q])} hops" if res.reachable[q] \
+            else "unreachable"
+        print(f"  {int(res.sources[q]):8d} -> {int(res.targets[q]):8d}: "
+              f"{verdict}", file=out)
+    return 0
+
+
+def cmd_pagerank(args, out) -> int:
+    from repro.core.pagerank import pagerank
+
+    el = _load(args)
+    run = pagerank(el, iterations=args.iterations, num_machines=args.machines,
+                   asynchronous=args.asynchronous)
+    mode = "async" if args.asynchronous else "sync"
+    print(f"PageRank on {args.dataset}: {run.iterations} iterations ({mode}), "
+          f"virtual time {run.virtual_seconds * 1e3:.2f} ms", file=out)
+    top = np.argsort(run.values)[-args.top:][::-1]
+    for v in top:
+        print(f"  vertex {int(v):8d}: rank {run.values[v]:10.3f}", file=out)
+    return 0
+
+
+def cmd_sssp(args, out) -> int:
+    from repro.core.sssp import sssp
+
+    el = _load(args).with_unit_weights()
+    res = sssp(el, args.source, max_hops=args.max_hops,
+               num_machines=args.machines)
+    finite = np.isfinite(res.distances)
+    print(f"SSSP from {args.source} on {args.dataset} "
+          f"(max_hops={args.max_hops}):", file=out)
+    print(f"  reachable: {int(finite.sum())} / {el.num_vertices}", file=out)
+    if finite.any():
+        print(f"  median distance: {np.median(res.distances[finite]):.1f}",
+              file=out)
+        print(f"  max distance:    {res.distances[finite].max():.1f}", file=out)
+    return 0
+
+
+def cmd_kcore(args, out) -> int:
+    from repro.core.kcore import core_numbers
+
+    el = _load(args)
+    res = core_numbers(el, num_machines=args.machines)
+    print(f"k-core decomposition of {args.dataset} "
+          f"({res.rounds} rounds):", file=out)
+    values, counts = np.unique(res.core, return_counts=True)
+    for v, c in list(zip(values.tolist(), counts.tolist()))[-10:]:
+        print(f"  coreness {int(v):5d}: {int(c):8d} vertices", file=out)
+    print(f"  degeneracy (max coreness): {int(res.core.max())}", file=out)
+    return 0
+
+
+def cmd_hopplot(args, out) -> int:
+    from repro.graph.analysis import effective_diameter, hop_plot
+
+    el = _load(args)
+    d, cdf = hop_plot(el, num_sources=args.sources, seed=args.seed)
+    print(f"hop plot of {args.dataset}:", file=out)
+    for dist, frac in zip(d.tolist(), cdf.tolist()):
+        bar = "#" * int(round(frac * 40))
+        print(f"  {dist:3d} hops: {100 * frac:6.2f}% {bar}", file=out)
+    print(f"  delta_0.5 = {effective_diameter(d, cdf, 0.5):.2f}   "
+          f"delta_0.9 = {effective_diameter(d, cdf, 0.9):.2f}   "
+          f"diameter = {int(d[-1])}", file=out)
+    return 0
+
+
+def cmd_path(args, out) -> int:
+    from repro.core.traversal import shortest_hop_path
+
+    el = _load(args)
+    path = shortest_hop_path(el, args.source, args.target, k=args.k,
+                             num_machines=args.machines)
+    if path is None:
+        budget = "" if args.k is None else f" within {args.k} hops"
+        print(f"{args.target} is not reachable from {args.source}{budget}",
+              file=out)
+    else:
+        print(" -> ".join(str(v) for v in path), file=out)
+        print(f"({len(path) - 1} hops)", file=out)
+    return 0
+
+
+def cmd_centrality(args, out) -> int:
+    from repro.bench.workload import random_sources
+    from repro.core.centrality import closeness_centrality, harmonic_centrality
+
+    el = _load(args)
+    roots = random_sources(el, min(args.roots, el.num_vertices), seed=args.seed)
+    fn = closeness_centrality if args.kind == "closeness" else harmonic_centrality
+    res = fn(el, roots=roots, num_machines=args.machines)
+    print(f"{args.kind} centrality over {roots.size} sampled roots "
+          f"({res.total_edges_scanned:,} edges scanned in shared batches):",
+          file=out)
+    for v, score in res.top(args.top):
+        print(f"  vertex {v:8d}: {score:10.4f}", file=out)
+    return 0
+
+
+def cmd_experiment(args, out) -> int:
+    from repro.bench import experiments
+
+    driver = getattr(experiments, EXPERIMENTS[args.name])
+    kwargs = {} if args.scale is None else {"scale": args.scale}
+    result = driver(**kwargs)
+    print(result.report(), file=out)
+    if args.export:
+        from repro.bench.export import export_result
+
+        path = export_result(result, args.export)
+        print(f"rows written to {path}", file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "datasets": cmd_datasets,
+        "khop": cmd_khop,
+        "reach": cmd_reach,
+        "pagerank": cmd_pagerank,
+        "sssp": cmd_sssp,
+        "kcore": cmd_kcore,
+        "hopplot": cmd_hopplot,
+        "path": cmd_path,
+        "centrality": cmd_centrality,
+        "experiment": cmd_experiment,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""MS-BFS-style bit-parallel frontier state (§3.5, Figure 6).
+
+For a batch of up to 64 concurrent queries, each partition keeps three
+machine-word arrays indexed by local vertex:
+
+* ``frontier`` — bit ``q`` set ⇔ the vertex is in query ``q``'s current
+  frontier;
+* ``next``     — bit ``q`` set ⇔ the vertex enters query ``q``'s next
+  frontier;
+* ``visited``  — bit ``q`` set ⇔ query ``q`` has already visited the vertex.
+
+(The paper describes "2 bits to indicate if a vertex exists in the current or
+next frontier, and 1 bit to track if it has been visited" — i.e. exactly
+these three planes.)  One pass over an edge-set serves every query whose
+frontier intersects it: the traversal *shares* the subgraph across queries,
+which is the paper's core optimisation.  The batch width is fixed by a
+hardware parameter (cache-line/word size); widths below 64 are supported for
+the width-ablation bench via the query mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitFrontier", "popcount", "per_query_counts"]
+
+_WORD = np.uint64
+MAX_BATCH_WIDTH = 64
+
+
+def popcount(x: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count of a uint64 array (SWAR algorithm)."""
+    x = x.astype(np.uint64, copy=True)
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h01 = np.uint64(0x0101010101010101)
+    x -= (x >> np.uint64(1)) & m1
+    x = (x & m2) + ((x >> np.uint64(2)) & m2)
+    x = (x + (x >> np.uint64(4))) & m4
+    return ((x * h01) >> np.uint64(56)).astype(np.int64)
+
+
+def per_query_counts(bits: np.ndarray, num_queries: int) -> np.ndarray:
+    """How many array elements have bit ``q`` set, for each query ``q``.
+
+    ``O(num_queries)`` vectorised passes; used for result accounting, not in
+    the traversal hot path.
+    """
+    counts = np.empty(num_queries, dtype=np.int64)
+    one = np.uint64(1)
+    for q in range(num_queries):
+        counts[q] = int(((bits >> np.uint64(q)) & one).sum())
+    return counts
+
+
+class BitFrontier:
+    """Per-partition frontier/next/visited bit planes for one query batch."""
+
+    def __init__(self, num_local: int, num_queries: int):
+        if not 1 <= num_queries <= MAX_BATCH_WIDTH:
+            raise ValueError(
+                f"batch width must be in [1, {MAX_BATCH_WIDTH}], got {num_queries}"
+            )
+        self.num_local = int(num_local)
+        self.num_queries = int(num_queries)
+        if num_queries == MAX_BATCH_WIDTH:
+            self.query_mask = np.uint64(0xFFFFFFFFFFFFFFFF)
+        else:
+            self.query_mask = np.uint64((1 << num_queries) - 1)
+        self.frontier = np.zeros(self.num_local, dtype=_WORD)
+        self.next = np.zeros(self.num_local, dtype=_WORD)
+        self.visited = np.zeros(self.num_local, dtype=_WORD)
+
+    def seed(self, local_vertex: int, query_index: int) -> None:
+        """Place ``query_index``'s source at ``local_vertex`` (level 0)."""
+        if not 0 <= query_index < self.num_queries:
+            raise ValueError("query index out of batch")
+        bit = np.uint64(1 << query_index)
+        self.frontier[local_vertex] |= bit
+        self.visited[local_vertex] |= bit
+
+    def active_vertices(self) -> np.ndarray:
+        """Local indices whose current frontier word is non-zero."""
+        return np.nonzero(self.frontier)[0]
+
+    def or_into_next(self, local_vertices: np.ndarray, bits: np.ndarray) -> None:
+        """Scatter-OR query bits into ``next`` (duplicate targets allowed)."""
+        np.bitwise_or.at(self.next, local_vertices, bits)
+
+    def alive_bits(self) -> np.uint64:
+        """OR over the current frontier: which queries still have frontier here."""
+        if self.frontier.size == 0:
+            return np.uint64(0)
+        return np.bitwise_or.reduce(self.frontier)
+
+    def promote(self) -> np.ndarray:
+        """End-of-level rotation; returns the newly visited plane.
+
+        ``next`` is masked against ``visited`` (each query visits a vertex at
+        most once — Figure 5: "the visited vertices are synchronized after
+        each iteration and won't be visited") and against the batch's query
+        mask, then becomes the new frontier.
+        """
+        np.bitwise_and(self.next, ~self.visited, out=self.next)
+        np.bitwise_and(self.next, self.query_mask, out=self.next)
+        newly = self.next
+        self.visited |= newly
+        self.frontier, self.next = newly, self.frontier
+        self.next.fill(0)
+        return newly
+
+    def visited_counts(self) -> np.ndarray:
+        """Visited vertices per query in this partition."""
+        return per_query_counts(self.visited, self.num_queries)
+
+    def frontier_counts(self) -> np.ndarray:
+        """Current-frontier size per query in this partition."""
+        return per_query_counts(self.frontier, self.num_queries)
+
+    def nbytes(self) -> int:
+        return int(self.frontier.nbytes + self.next.nbytes + self.visited.nbytes)

@@ -1,0 +1,189 @@
+"""The Gather-Apply-Scatter ``Update`` abstraction (§3.4, Listing 3).
+
+Iterative property computations (PageRank, label propagation, …) run on a
+vertex-programming interface layered over the partition-centric engine:
+
+* **scatter** — each vertex derives a message value from its current value
+  (Listing 3: ``v.val / v.outdegree``);
+* **gather**  — messages travelling the out-edges are combined per
+  destination with the program's combiner (``sum`` for PageRank, ``min`` for
+  connected components);
+* **apply**   — each vertex folds the gathered aggregate into its new value
+  (``0.15 + 0.85 * sum``).
+
+Because all out-edges of a vertex are partition-local (§3.1), the scatter
+phase "does not generate additional traffic": only combined per-boundary-
+vertex aggregates cross the network, which the engine counts and charges.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import PartitionedGraph, range_partition
+from repro.runtime.cluster import SimCluster
+from repro.runtime.engine import EngineResult, PartitionTask, SuperstepEngine
+from repro.runtime.message import MessageBatch, _combine
+from repro.runtime.netmodel import NetworkModel, StepStats
+
+__all__ = ["VertexProgram", "GASPartitionTask", "run_gas", "GASRun"]
+
+
+class VertexProgram(ABC):
+    """A vectorised GAS vertex program.
+
+    ``combiner`` must be a binary numpy ufunc (``np.add``, ``np.minimum``…);
+    ``identity`` is its neutral element, used for vertices receiving no
+    message.
+    """
+
+    combiner: np.ufunc = np.add
+    identity: float = 0.0
+
+    @abstractmethod
+    def initial_values(self, num_vertices: int) -> np.ndarray:
+        """Dense initial vertex values (global indexing)."""
+
+    @abstractmethod
+    def scatter(self, values: np.ndarray, part) -> np.ndarray:
+        """Per-local-vertex message value derived from current values.
+
+        ``part`` is the :class:`~repro.graph.partition.Partition`, giving
+        access to degrees (PageRank divides by out-degree).
+        """
+
+    @abstractmethod
+    def apply(self, values: np.ndarray, gathered: np.ndarray, part) -> np.ndarray:
+        """New local values from old values + gathered aggregates."""
+
+    def has_converged(self, old: np.ndarray, new: np.ndarray) -> bool:
+        """Optional early-exit test (checked per partition, AND-ed)."""
+        return False
+
+
+@dataclass
+class GASRun:
+    """Result of a GAS execution: final values + engine accounting."""
+
+    values: np.ndarray
+    iterations: int
+    engine_result: EngineResult
+
+    @property
+    def virtual_seconds(self) -> float:
+        return self.engine_result.virtual_seconds
+
+
+class GASPartitionTask(PartitionTask):
+    """One machine's share of a GAS iteration.
+
+    Each superstep: scatter local values along local out-edges, reduce
+    per-destination (``bincount`` for the local share, combined message
+    batches for remote shares), then apply.
+    """
+
+    def __init__(self, machine, cluster: SimCluster, program: VertexProgram,
+                 initial: np.ndarray):
+        super().__init__(machine)
+        self.cluster = cluster
+        self.program = program
+        self.values = np.array(initial[machine.lo : machine.hi], dtype=np.float64)
+        self.gathered = np.full(machine.num_local, program.identity, dtype=np.float64)
+        self.converged = False
+        part = machine.partition
+        csr = part.out_csr
+        # Precompute the expansion of local out-edges once; every iteration
+        # reuses it (the structure never changes, only the values do).
+        self._edge_src = np.repeat(
+            np.arange(part.num_local, dtype=np.int64), csr.degrees()
+        )
+        self._edge_dst = csr.indices.astype(np.int64)
+        local_mask = (self._edge_dst >= machine.lo) & (self._edge_dst < machine.hi)
+        self._local_sel = np.nonzero(local_mask)[0]
+        self._local_dst = self._edge_dst[self._local_sel] - machine.lo
+        remote_sel = np.nonzero(~local_mask)[0]
+        owners = cluster.owner_of(self._edge_dst[remote_sel])
+        self._remote_groups: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for dest in np.unique(owners):
+            sel = remote_sel[owners == dest]
+            self._remote_groups.append(
+                (int(dest), sel, self._edge_dst[sel])
+            )
+
+    def compute(self, stats: StepStats) -> None:
+        # ``gathered`` accumulates across the whole superstep (local adds
+        # here, remote adds in apply_inbox) and is reset in finalize — the
+        # order independence is what makes the async delivery mode safe.
+        scattered = self.program.scatter(self.values, self.machine.partition)
+        per_edge = scattered[self._edge_src]
+        stats.edges_scanned += int(per_edge.size)
+        if self._local_sel.size:
+            if self.program.combiner is np.add:
+                local_acc = np.bincount(
+                    self._local_dst,
+                    weights=per_edge[self._local_sel],
+                    minlength=self.machine.num_local,
+                )
+                self.gathered = self.program.combiner(self.gathered, local_acc)
+            else:
+                self.program.combiner.at(
+                    self.gathered, self._local_dst, per_edge[self._local_sel]
+                )
+        for dest, sel, dst_global in self._remote_groups:
+            self.machine.outbox.append(
+                dest, MessageBatch(dst_global, per_edge[sel])
+            )
+
+    def apply_inbox(self, stats: StepStats) -> None:
+        for batches in self.machine.inbox.take_all().values():
+            for batch in batches:
+                local = batch.vertices - self.machine.lo
+                self.program.combiner.at(self.gathered, local, batch.payload)
+                stats.vertices_updated += batch.num_tasks
+
+    def finalize(self) -> bool:
+        new = self.program.apply(self.values, self.gathered, self.machine.partition)
+        self.converged = self.program.has_converged(self.values, new)
+        self.values = new
+        self.gathered.fill(self.program.identity)
+        return not self.converged
+
+
+def run_gas(
+    graph: EdgeList | PartitionedGraph,
+    program: VertexProgram,
+    iterations: int,
+    num_machines: int = 1,
+    netmodel: NetworkModel | None = None,
+    asynchronous: bool = False,
+    parallel_compute: bool = False,
+) -> GASRun:
+    """Execute a vertex program for up to ``iterations`` supersteps.
+
+    Stops early if every partition's :meth:`VertexProgram.has_converged`
+    returns True.  Returns the assembled global value vector.
+    """
+    if isinstance(graph, PartitionedGraph):
+        pg = graph
+    else:
+        pg = range_partition(graph, num_machines)
+    cluster = SimCluster(pg, netmodel)
+    initial = program.initial_values(pg.num_vertices)
+    tasks = [GASPartitionTask(m, cluster, program, initial) for m in cluster.machines]
+
+    def gas_combiner(batch: MessageBatch) -> MessageBatch:
+        return _combine(batch, program.combiner)
+
+    engine = SuperstepEngine(
+        cluster, tasks, combiner=gas_combiner, asynchronous=asynchronous,
+        parallel_compute=parallel_compute,
+    )
+    result = engine.run(max_supersteps=iterations)
+    values = np.empty(pg.num_vertices, dtype=np.float64)
+    for t in tasks:
+        values[t.machine.lo : t.machine.hi] = t.values
+    return GASRun(values=values, iterations=result.supersteps, engine_result=result)

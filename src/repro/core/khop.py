@@ -1,0 +1,297 @@
+"""The concurrent k-hop reachability query engine (the paper's core operator).
+
+A batch of up to 64 queries traverses the partitioned graph together, level
+by level.  Each superstep every machine expands its local frontier over its
+out-edge shard (optionally edge-set by edge-set for cache locality), OR-ing
+query bit-masks into local ``next`` planes and shipping boundary-vertex
+updates as combined message batches (Figure 5).  A query finishes when its
+frontier dies everywhere or after ``k`` hops.
+
+The public entry point is :func:`concurrent_khop`; the
+:class:`KHopPartitionTask` plugs into the generic
+:class:`~repro.runtime.engine.SuperstepEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.frontier import MAX_BATCH_WIDTH, BitFrontier, per_query_counts
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import PartitionedGraph, range_partition
+from repro.runtime.cluster import SimCluster
+from repro.runtime.engine import PartitionTask, SuperstepEngine
+from repro.runtime.message import MessageBatch, combine_or
+from repro.runtime.netmodel import NetworkModel, StepStats
+
+__all__ = ["KHopResult", "KHopPartitionTask", "concurrent_khop"]
+
+
+@dataclass
+class KHopResult:
+    """Outcome of one bit-parallel k-hop batch.
+
+    ``reached[q]`` counts vertices visited by query ``q`` (including its
+    source); ``completion_level[q]`` is the hop at which its frontier died
+    (== ``k`` when it used the full budget); ``completion_seconds[q]`` is the
+    virtual time at which the query's last level finished —
+    the per-query response time within the batch.
+    """
+
+    sources: np.ndarray
+    k: int | None
+    reached: np.ndarray
+    completion_level: np.ndarray
+    completion_seconds: np.ndarray
+    virtual_seconds: float
+    supersteps: int
+    per_step_seconds: list[float]
+    total_edges_scanned: int
+    total_messages: int
+    total_bytes: int
+    depths: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.sources.size)
+
+
+class KHopPartitionTask(PartitionTask):
+    """One machine's share of a concurrent k-hop batch."""
+
+    def __init__(
+        self,
+        machine,
+        cluster: SimCluster,
+        num_queries: int,
+        k: int | None,
+        use_edge_sets: bool = False,
+        record_depths: bool = False,
+    ):
+        super().__init__(machine)
+        self.cluster = cluster
+        self.k = k
+        self.level = 0
+        self.state = BitFrontier(machine.num_local, num_queries)
+        part = machine.partition
+        self.use_edge_sets = use_edge_sets and part.edge_sets is not None
+        if use_edge_sets and part.edge_sets is None:
+            raise ValueError(
+                "use_edge_sets requires PartitionedGraph.build_edge_sets() first"
+            )
+        self.depths = (
+            np.full((machine.num_local, num_queries), -1, dtype=np.int16)
+            if record_depths
+            else None
+        )
+
+    # -- PartitionTask interface ---------------------------------------- #
+
+    def compute(self, stats: StepStats) -> None:
+        if self.k is not None and self.level >= self.k:
+            return
+        active = self.state.active_vertices()
+        if active.size == 0:
+            return
+        bits = self.state.frontier[active]
+        if self.use_edge_sets:
+            self._expand_edge_sets(active, bits, stats)
+        else:
+            self._expand_csr(active, bits, stats)
+
+    def apply_inbox(self, stats: StepStats) -> None:
+        for batches in self.machine.inbox.take_all().values():
+            for batch in batches:
+                local = batch.vertices - self.machine.lo
+                self.state.or_into_next(local, batch.payload)
+                stats.vertices_updated += batch.num_tasks
+
+    def finalize(self) -> bool:
+        newly = self.state.promote()
+        if self.depths is not None and newly.any():
+            rows = np.nonzero(newly)[0]
+            words = newly[rows]
+            one = np.uint64(1)
+            for q in range(self.state.num_queries):
+                hit = rows[((words >> np.uint64(q)) & one).astype(bool)]
+                self.depths[hit, q] = self.level + 1
+        self.level += 1
+        budget_left = self.k is None or self.level < self.k
+        return bool(budget_left and self.state.frontier.any())
+
+    # -- expansion kernels ------------------------------------------------ #
+
+    def _expand_csr(self, active: np.ndarray, bits: np.ndarray, stats) -> None:
+        csr = self.machine.partition.out_csr
+        pos, counts = csr.gather_edges(active)
+        targets = csr.indices[pos]
+        self._route(targets, np.repeat(bits, counts), stats)
+
+    def _expand_edge_sets(self, active: np.ndarray, bits: np.ndarray, stats) -> None:
+        """Left-to-right scan over edge-set blocks (§3.2).
+
+        Only blocks whose row range intersects the active frontier are
+        touched — the shared-subgraph benefit: frontier vertices of *all*
+        queries in one block are expanded in a single pass.
+        """
+        esm = self.machine.partition.edge_sets
+        frontier = self.state.frontier
+        for block in esm.row_major_blocks():
+            rows = active[(active >= block.row_lo) & (active < block.row_hi)]
+            if rows.size == 0:
+                continue
+            local_rows = rows - block.row_lo
+            pos, counts = block.csr.gather_edges(local_rows)
+            if pos.size == 0:
+                continue
+            targets = block.csr.indices[pos]
+            self._route(targets, np.repeat(frontier[rows], counts), stats)
+
+    def _route(self, targets: np.ndarray, ebits: np.ndarray, stats) -> None:
+        """Split expanded edges into local OR-updates and remote batches."""
+        stats.edges_scanned += int(targets.size)
+        lo, hi = self.machine.lo, self.machine.hi
+        local_mask = (targets >= lo) & (targets < hi)
+        if local_mask.any():
+            tl = targets[local_mask] - lo
+            self.state.or_into_next(tl, ebits[local_mask])
+            stats.vertices_updated += int(tl.size)
+        remote_mask = ~local_mask
+        if remote_mask.any():
+            rt = targets[remote_mask]
+            rb = ebits[remote_mask]
+            owners = self.cluster.owner_of(rt)
+            order = np.argsort(owners, kind="stable")
+            owners_sorted = owners[order]
+            starts = np.concatenate(
+                [[0], np.nonzero(owners_sorted[1:] != owners_sorted[:-1])[0] + 1,
+                 [owners_sorted.size]]
+            )
+            for a, b in zip(starts[:-1], starts[1:]):
+                if a == b:
+                    continue
+                dest = int(owners_sorted[a])
+                sel = order[a:b]
+                self.machine.outbox.append(dest, MessageBatch(rt[sel], rb[sel]))
+
+
+def concurrent_khop(
+    graph: EdgeList | PartitionedGraph,
+    sources,
+    k: int | None,
+    num_machines: int = 1,
+    netmodel: NetworkModel | None = None,
+    use_edge_sets: bool = False,
+    asynchronous: bool = False,
+    record_depths: bool = False,
+    max_supersteps: int | None = None,
+    parallel_compute: bool = False,
+) -> KHopResult:
+    """Run up to 64 k-hop queries concurrently with bit-parallel sharing.
+
+    Parameters
+    ----------
+    graph:
+        An :class:`EdgeList` (partitioned here into ``num_machines`` ranges)
+        or a pre-partitioned :class:`PartitionedGraph`.
+    sources:
+        Global source vertex per query (batch width = ``len(sources)``, max
+        64; wider streams go through
+        :func:`repro.core.batch.run_query_stream`).
+    k:
+        Hop budget; ``None`` means full BFS (traverse to exhaustion).
+    record_depths:
+        Also return a dense ``(n, num_queries)`` hop-depth matrix (-1 =
+        unreached).  Costs O(n·Q) memory — the paper's §3.3 level-limited
+        mode is the default (depths off).
+    parallel_compute:
+        Run the per-machine compute phase on one thread per machine
+        (synchronous mode only); answers are identical.
+
+    Returns a :class:`KHopResult`; virtual time comes from the cluster's
+    network model and counted work.
+    """
+    if isinstance(graph, PartitionedGraph):
+        pg = graph
+    else:
+        pg = range_partition(graph, num_machines)
+    sources = np.asarray(sources, dtype=np.int64)
+    num_queries = int(sources.size)
+    if not 1 <= num_queries <= MAX_BATCH_WIDTH:
+        raise ValueError(f"need 1..{MAX_BATCH_WIDTH} sources, got {num_queries}")
+    if sources.size and (sources.min() < 0 or sources.max() >= pg.num_vertices):
+        raise ValueError("source vertex out of range")
+
+    cluster = SimCluster(pg, netmodel)
+    tasks = [
+        KHopPartitionTask(
+            m, cluster, num_queries, k,
+            use_edge_sets=use_edge_sets, record_depths=record_depths,
+        )
+        for m in cluster.machines
+    ]
+    for q, s in enumerate(sources):
+        machine = cluster.machine_of(int(s))
+        tasks[machine.machine_id].state.seed(int(s) - machine.lo, q)
+
+    completion_level = np.full(num_queries, 0, dtype=np.int64)
+    completion_seconds = np.zeros(num_queries, dtype=np.float64)
+    done_mask = 0
+
+    def on_step(step_index: int, stats, now: float) -> None:
+        nonlocal done_mask
+        alive = np.uint64(0)
+        for t in tasks:
+            alive |= t.state.alive_bits()
+        alive_int = int(alive)
+        for q in range(num_queries):
+            if done_mask >> q & 1:
+                continue
+            if not (alive_int >> q & 1):
+                done_mask |= 1 << q
+                completion_level[q] = step_index + 1
+                completion_seconds[q] = now
+            elif k is not None and step_index + 1 >= k:
+                done_mask |= 1 << q
+                completion_level[q] = k
+                completion_seconds[q] = now
+
+    engine = SuperstepEngine(cluster, tasks, combiner=combine_or,
+                             asynchronous=asynchronous,
+                             parallel_compute=parallel_compute)
+    cap = max_supersteps
+    if k is not None:
+        cap = k if cap is None else min(cap, k)
+    result = engine.run(max_supersteps=cap, on_step=on_step)
+
+    reached = np.zeros(num_queries, dtype=np.int64)
+    for t in tasks:
+        reached += t.state.visited_counts()
+    # queries that never produced a superstep (e.g. k == 0) complete at t=0
+    completion_seconds[completion_level == 0] = 0.0
+
+    depths = None
+    if record_depths:
+        depths = np.full((pg.num_vertices, num_queries), -1, dtype=np.int16)
+        for t in tasks:
+            depths[t.machine.lo : t.machine.hi] = t.depths
+        for q, s in enumerate(sources):
+            depths[int(s), q] = 0
+
+    total = result.total_stats()
+    return KHopResult(
+        sources=sources,
+        k=k,
+        reached=reached,
+        completion_level=completion_level,
+        completion_seconds=completion_seconds,
+        virtual_seconds=result.virtual_seconds,
+        supersteps=result.supersteps,
+        per_step_seconds=result.per_step_seconds,
+        total_edges_scanned=total.edges_scanned,
+        total_messages=total.total_messages,
+        total_bytes=total.total_bytes,
+        depths=depths,
+    )

@@ -1,0 +1,136 @@
+"""The ``Traverse`` operator (§3.4, Listing 2) and single-query helpers.
+
+The paper splits graph applications into *traversals on structure*
+(``Traverse``) and *iterative computation on property* (``Update``/GAS).
+:func:`traverse` is the structure-side operator: starting from a source, it
+visits the reachable neighbourhood level by level up to a hop budget,
+invoking a user ``visit`` callback with each level's newly reached vertices
+— exactly the role of Listing 2's loop, but vectorised and distributed.
+
+Single-query convenience wrappers (:func:`khop_query`,
+:func:`khop_service_time`) are thin shims over the bit-parallel engine with
+batch width 1; they are what the non-bitwise query modes (Figures 7–12) cost
+out per query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.khop import KHopResult, concurrent_khop
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import PartitionedGraph
+from repro.runtime.netmodel import NetworkModel
+
+__all__ = ["traverse", "khop_query", "khop_service_time", "shortest_hop_path"]
+
+
+def traverse(
+    graph: EdgeList | PartitionedGraph,
+    source: int,
+    hops: int | None,
+    visit: Callable[[int, np.ndarray], None] | None = None,
+    num_machines: int = 1,
+    netmodel: NetworkModel | None = None,
+) -> KHopResult:
+    """Listing 2's ``Traverse``: visit the ≤ ``hops`` neighbourhood of ``source``.
+
+    ``visit(level, vertices)`` is called for each level 1..L with the global
+    ids newly reached at that level (level 0 is the source itself and is not
+    reported).  Returns the underlying :class:`KHopResult` with depths
+    recorded.
+    """
+    res = concurrent_khop(
+        graph,
+        [source],
+        hops,
+        num_machines=num_machines,
+        netmodel=netmodel,
+        record_depths=True,
+    )
+    if visit is not None:
+        depths = res.depths[:, 0]
+        max_level = int(depths.max(initial=0))
+        for level in range(1, max_level + 1):
+            verts = np.nonzero(depths == level)[0]
+            if verts.size:
+                visit(level, verts)
+    return res
+
+
+def khop_query(
+    graph: EdgeList | PartitionedGraph,
+    source: int,
+    k: int,
+    num_machines: int = 1,
+    netmodel: NetworkModel | None = None,
+) -> np.ndarray:
+    """Global ids of all vertices within ``k`` hops of ``source`` (incl. it)."""
+    res = concurrent_khop(
+        graph, [source], k, num_machines=num_machines,
+        netmodel=netmodel, record_depths=True,
+    )
+    return np.nonzero(res.depths[:, 0] >= 0)[0]
+
+
+def shortest_hop_path(
+    graph: EdgeList | PartitionedGraph,
+    source: int,
+    target: int,
+    k: int | None = None,
+    num_machines: int = 1,
+    netmodel: NetworkModel | None = None,
+) -> list[int] | None:
+    """One minimum-hop path ``source -> ... -> target`` within ``k`` hops.
+
+    The paper notes that "every query returns with found paths" (§4.2); this
+    helper materialises one.  Implementation: a depth-recording traversal,
+    then a backward walk — from the target at depth ``d``, any in-neighbour
+    at depth ``d - 1`` extends the path (the in-edge CSC of §3.2 makes the
+    backward step a local scan).  Returns ``None`` when the target is not
+    reachable within the budget.
+    """
+    from repro.graph.partition import range_partition as _rp
+
+    if isinstance(graph, PartitionedGraph):
+        pg = graph
+    else:
+        pg = _rp(graph, num_machines)
+    res = concurrent_khop(
+        pg, [source], k, netmodel=netmodel, record_depths=True,
+    )
+    depths = res.depths[:, 0]
+    if depths[target] < 0:
+        return None
+    path = [int(target)]
+    current = int(target)
+    for depth in range(int(depths[target]), 0, -1):
+        part = pg.partition_of(current)
+        in_nbrs = part.in_csc.neighbors(current - part.lo)
+        preds = in_nbrs[depths[in_nbrs] == depth - 1]
+        if preds.size == 0:  # pragma: no cover - depths guarantee a parent
+            return None
+        current = int(preds[0])
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def khop_service_time(
+    graph: PartitionedGraph,
+    source: int,
+    k: int | None,
+    netmodel: NetworkModel | None = None,
+    use_edge_sets: bool = False,
+) -> tuple[float, int]:
+    """(virtual seconds, vertices reached) of one standalone k-hop query.
+
+    The response-time experiments cost each query this way, then feed the
+    service times into :mod:`repro.runtime.scheduler` to model concurrency.
+    """
+    res = concurrent_khop(
+        graph, [source], k, netmodel=netmodel, use_edge_sets=use_edge_sets
+    )
+    return float(res.virtual_seconds), int(res.reached[0])

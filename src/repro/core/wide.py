@@ -1,0 +1,215 @@
+"""Cache-line-wide query batches: beyond one 64-bit word (§3.5).
+
+"A fixed number of concurrent queries are decided based on hardware
+parameters, for example, the length of the cache line."  A 64-byte cache
+line holds **512** query bits, so the hardware-sized batch is eight machine
+words, not one.  This module generalises the bit-parallel engine to
+multi-word batches: frontier/next/visited become ``(num_local, words)``
+``uint64`` planes, message payloads become 2-D, and one pass over an edge
+serves up to 512 queries.
+
+:func:`concurrent_khop_wide` mirrors :func:`repro.core.khop.concurrent_khop`
+with ``1 <= len(sources) <= 512``; the width ablation bench compares a
+512-wide batch against eight word-wide batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import PartitionedGraph, range_partition
+from repro.runtime.cluster import SimCluster
+from repro.runtime.engine import PartitionTask, SuperstepEngine
+from repro.runtime.message import MessageBatch, combine_or
+from repro.runtime.netmodel import NetworkModel, StepStats
+
+__all__ = ["WideBitFrontier", "WideKHopResult", "concurrent_khop_wide",
+           "MAX_WIDE_BATCH"]
+
+_WORD_BITS = 64
+#: 512 bits — one 64-byte cache line of query slots.
+MAX_WIDE_BATCH = 512
+
+
+class WideBitFrontier:
+    """Multi-word frontier planes: shape ``(num_local, words)`` uint64."""
+
+    def __init__(self, num_local: int, num_queries: int):
+        if not 1 <= num_queries <= MAX_WIDE_BATCH:
+            raise ValueError(
+                f"batch width must be in [1, {MAX_WIDE_BATCH}], got {num_queries}"
+            )
+        self.num_local = int(num_local)
+        self.num_queries = int(num_queries)
+        self.words = (num_queries + _WORD_BITS - 1) // _WORD_BITS
+        self.query_mask = np.zeros(self.words, dtype=np.uint64)
+        full, rem = divmod(num_queries, _WORD_BITS)
+        self.query_mask[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        if rem:
+            self.query_mask[full] = np.uint64((1 << rem) - 1)
+        shape = (self.num_local, self.words)
+        self.frontier = np.zeros(shape, dtype=np.uint64)
+        self.next = np.zeros(shape, dtype=np.uint64)
+        self.visited = np.zeros(shape, dtype=np.uint64)
+
+    def seed(self, local_vertex: int, query_index: int) -> None:
+        """Place query ``query_index``'s source at ``local_vertex``."""
+        if not 0 <= query_index < self.num_queries:
+            raise ValueError("query index out of batch")
+        w, b = divmod(query_index, _WORD_BITS)
+        bit = np.uint64(1 << b)
+        self.frontier[local_vertex, w] |= bit
+        self.visited[local_vertex, w] |= bit
+
+    def active_vertices(self) -> np.ndarray:
+        """Local vertices whose frontier has any bit set in any word."""
+        return np.nonzero(self.frontier.any(axis=1))[0]
+
+    def or_into_next(self, local_vertices: np.ndarray, bits: np.ndarray) -> None:
+        """Scatter-OR 2-D bit rows into ``next`` (duplicates allowed)."""
+        np.bitwise_or.at(self.next, local_vertices, bits)
+
+    def alive_bits(self) -> np.ndarray:
+        """Per-word OR over the frontier: queries still alive here."""
+        if self.frontier.size == 0:
+            return np.zeros(self.words, dtype=np.uint64)
+        return np.bitwise_or.reduce(self.frontier, axis=0)
+
+    def promote(self) -> np.ndarray:
+        """End-of-level rotation (see :meth:`BitFrontier.promote`)."""
+        np.bitwise_and(self.next, ~self.visited, out=self.next)
+        np.bitwise_and(self.next, self.query_mask, out=self.next)
+        newly = self.next
+        self.visited |= newly
+        self.frontier, self.next = newly, self.frontier
+        self.next.fill(0)
+        return newly
+
+    def visited_counts(self) -> np.ndarray:
+        """Visited vertices per query in this partition."""
+        counts = np.empty(self.num_queries, dtype=np.int64)
+        one = np.uint64(1)
+        for q in range(self.num_queries):
+            w, b = divmod(q, _WORD_BITS)
+            counts[q] = int(((self.visited[:, w] >> np.uint64(b)) & one).sum())
+        return counts
+
+    def nbytes(self) -> int:
+        return int(self.frontier.nbytes + self.next.nbytes + self.visited.nbytes)
+
+
+class _WideKHopTask(PartitionTask):
+    """Multi-word variant of :class:`~repro.core.khop.KHopPartitionTask`."""
+
+    def __init__(self, machine, cluster: SimCluster, num_queries: int,
+                 k: int | None):
+        super().__init__(machine)
+        self.cluster = cluster
+        self.k = k
+        self.level = 0
+        self.state = WideBitFrontier(machine.num_local, num_queries)
+
+    def compute(self, stats: StepStats) -> None:
+        if self.k is not None and self.level >= self.k:
+            return
+        active = self.state.active_vertices()
+        if active.size == 0:
+            return
+        bits = self.state.frontier[active]  # (a, words)
+        csr = self.machine.partition.out_csr
+        pos, counts = csr.gather_edges(active)
+        targets = csr.indices[pos]
+        ebits = np.repeat(bits, counts, axis=0)
+        stats.edges_scanned += int(targets.size)
+        lo, hi = self.machine.lo, self.machine.hi
+        local_mask = (targets >= lo) & (targets < hi)
+        if local_mask.any():
+            tl = targets[local_mask] - lo
+            self.state.or_into_next(tl, ebits[local_mask])
+            stats.vertices_updated += int(tl.size)
+        remote = ~local_mask
+        if remote.any():
+            rt = targets[remote]
+            rb = ebits[remote]
+            owners = self.cluster.owner_of(rt)
+            for dest in np.unique(owners):
+                sel = owners == dest
+                self.machine.outbox.append(
+                    int(dest), MessageBatch(rt[sel], rb[sel])
+                )
+
+    def apply_inbox(self, stats: StepStats) -> None:
+        for batches in self.machine.inbox.take_all().values():
+            for batch in batches:
+                local = batch.vertices - self.machine.lo
+                self.state.or_into_next(local, batch.payload)
+                stats.vertices_updated += batch.num_tasks
+
+    def finalize(self) -> bool:
+        self.state.promote()
+        self.level += 1
+        budget_left = self.k is None or self.level < self.k
+        return bool(budget_left and self.state.frontier.any())
+
+
+@dataclass
+class WideKHopResult:
+    """Outcome of one cache-line-wide batch."""
+
+    sources: np.ndarray
+    k: int | None
+    reached: np.ndarray
+    virtual_seconds: float
+    supersteps: int
+    total_edges_scanned: int
+    words: int
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.sources.size)
+
+
+def concurrent_khop_wide(
+    graph: EdgeList | PartitionedGraph,
+    sources,
+    k: int | None,
+    num_machines: int = 1,
+    netmodel: NetworkModel | None = None,
+) -> WideKHopResult:
+    """Run up to 512 k-hop queries in one multi-word bit-parallel batch."""
+    if isinstance(graph, PartitionedGraph):
+        pg = graph
+    else:
+        pg = range_partition(graph, num_machines)
+    sources = np.asarray(sources, dtype=np.int64)
+    num_queries = int(sources.size)
+    if not 1 <= num_queries <= MAX_WIDE_BATCH:
+        raise ValueError(f"need 1..{MAX_WIDE_BATCH} sources, got {num_queries}")
+    if sources.size and (sources.min() < 0 or sources.max() >= pg.num_vertices):
+        raise ValueError("source vertex out of range")
+
+    cluster = SimCluster(pg, netmodel)
+    tasks = [_WideKHopTask(m, cluster, num_queries, k) for m in cluster.machines]
+    for q, s in enumerate(sources):
+        machine = cluster.machine_of(int(s))
+        tasks[machine.machine_id].state.seed(int(s) - machine.lo, q)
+
+    engine = SuperstepEngine(cluster, tasks, combiner=combine_or)
+    result = engine.run(max_supersteps=k)
+
+    reached = np.zeros(num_queries, dtype=np.int64)
+    for t in tasks:
+        reached += t.state.visited_counts()
+    total = result.total_stats()
+    return WideKHopResult(
+        sources=sources,
+        k=k,
+        reached=reached,
+        virtual_seconds=result.virtual_seconds,
+        supersteps=result.supersteps,
+        total_edges_scanned=total.edges_scanned,
+        words=tasks[0].state.words if tasks else 0,
+    )

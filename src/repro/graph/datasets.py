@@ -1,0 +1,211 @@
+"""Named dataset registry — scaled analogs of the paper's Table 1.
+
+The paper evaluates on Orkut (117M edges), Friendster (1.8B) and two
+Graph500-synthetic graphs of 72B and 106B edges.  None of those fit a
+laptop-scale pure-Python reproduction, and the SNAP downloads are not
+available offline, so the registry builds **scaled analogs** with the same
+generator family the paper itself uses for its big graphs (Graph500
+Kronecker/R-MAT), matching each dataset's edge/vertex ratio:
+
+========================  ==============  ==================  =========
+registry name             paper dataset   scale factor        avg. deg.
+========================  ==============  ==================  =========
+``OR-100M``               Orkut           ×10⁻³ (edges)       38.1
+``FR-1B``                 Friendster      ×10⁻³               27.5
+``FRS-72B``               Friendster-Syn  ×10⁻⁴               550.4
+``FRS-100B``              Friendster-Syn  ×10⁻⁴               108.3
+``SLASHDOT-ZOO``          Slashdot Zoo    small-world analog  ~12
+========================  ==============  ==================  =========
+
+Because k-hop cost is driven by frontier growth — i.e. by average degree and
+degree skew, which the analogs preserve — the *shapes* of the paper's
+response-time results carry over (see DESIGN.md, substitutions table).
+
+``REPRO_SCALE`` (environment variable, default ``1.0``) scales every analog's
+vertex/edge counts further, so CI can run on tiny graphs while a full
+benchmark run uses the defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import graph500_kronecker, rmat_edges, watts_strogatz
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_table", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One registry entry.
+
+    ``paper_vertices``/``paper_edges`` are the Table 1 numbers; ``vertices``/
+    ``edges`` are the analog's targets before ``REPRO_SCALE`` is applied.
+    """
+
+    name: str
+    paper_dataset: str
+    paper_vertices: int
+    paper_edges: int
+    vertices: int
+    edges: int
+    seed: int
+    builder: Callable[["DatasetSpec", float], EdgeList]
+
+    def scaled_sizes(self, scale: float) -> tuple[int, int]:
+        """Analog (n, m) after applying the runtime scale factor."""
+        n = max(int(round(self.vertices * scale)), 16)
+        m = max(int(round(self.edges * scale)), 32)
+        return n, m
+
+
+def _build_rmat(spec: DatasetSpec, scale: float) -> EdgeList:
+    """Graph500 Kronecker at the next power of two, folded to the target n.
+
+    R-MAT needs ``2**s`` vertices; we generate at the covering scale and fold
+    ids modulo ``n``.  Folding preserves the skewed degree distribution while
+    hitting the exact analog vertex count.
+    """
+    n, m = spec.scaled_sizes(scale)
+    s = max(int(np.ceil(np.log2(n))), 1)
+    raw = rmat_edges(s, m, seed=spec.seed, noise=0.05)
+    src = raw.src.astype(np.int64) % n
+    dst = raw.dst.astype(np.int64) % n
+    rng = np.random.default_rng(spec.seed + 1)
+    perm = rng.permutation(n).astype(np.int64)
+    el = EdgeList(perm[src], perm[dst], n)
+    return el.remove_self_loops().deduplicate().symmetrize()
+
+
+def _build_smallworld(spec: DatasetSpec, scale: float) -> EdgeList:
+    """Watts–Strogatz analog of the Slashdot Zoo graph (Figure 1).
+
+    The target is the original's *total degree* (~13: 515,581 directed edges
+    over 79,120 vertices): each vertex links to ``k = m/n`` clockwise
+    neighbours, so the symmetrised graph has degree ``2k ≈ 13``, which puts
+    the effective diameter in the paper's 3.5–5 hop band.
+    """
+    n, m = spec.scaled_sizes(scale)
+    k = max(int(round(m / n)), 2)
+    return watts_strogatz(n, k, rewire_p=0.25, seed=spec.seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "OR-100M": DatasetSpec(
+        name="OR-100M",
+        paper_dataset="Orkut",
+        paper_vertices=3_072_441,
+        paper_edges=117_185_083,
+        vertices=3_072,
+        edges=117_185,
+        seed=42,
+        builder=_build_rmat,
+    ),
+    "FR-1B": DatasetSpec(
+        name="FR-1B",
+        paper_dataset="Friendster",
+        paper_vertices=65_608_366,
+        paper_edges=1_806_067_135,
+        vertices=65_608,
+        edges=1_806_067,
+        seed=43,
+        builder=_build_rmat,
+    ),
+    "FRS-72B": DatasetSpec(
+        name="FRS-72B",
+        paper_dataset="Friendster-Synthetic (72B)",
+        paper_vertices=131_216_732,
+        paper_edges=72_224_268_540,
+        vertices=13_122,
+        edges=7_222_427,
+        seed=44,
+        builder=_build_rmat,
+    ),
+    "FRS-100B": DatasetSpec(
+        name="FRS-100B",
+        paper_dataset="Friendster-Synthetic (100B)",
+        paper_vertices=984_125_490,
+        paper_edges=106_557_960_965,
+        vertices=98_413,
+        edges=10_655_796,
+        seed=45,
+        builder=_build_rmat,
+    ),
+    "SLASHDOT-ZOO": DatasetSpec(
+        name="SLASHDOT-ZOO",
+        paper_dataset="Slashdot Zoo (KONECT)",
+        paper_vertices=79_120,
+        paper_edges=515_581,
+        vertices=7_912,
+        edges=51_558,
+        seed=46,
+        builder=_build_smallworld,
+    ),
+}
+
+_MEMO: dict[tuple[str, float], EdgeList] = {}
+
+
+def runtime_scale() -> float:
+    """The global dataset scale factor from ``REPRO_SCALE`` (default 1.0)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def load_dataset(name: str, scale: float | None = None) -> EdgeList:
+    """Build (or fetch from the in-process cache) a registry dataset.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`DATASETS` (case-insensitive).
+    scale:
+        Extra size multiplier; defaults to ``REPRO_SCALE``.
+    """
+    key = name.upper()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    if scale is None:
+        scale = runtime_scale()
+    memo_key = (key, float(scale))
+    if memo_key not in _MEMO:
+        spec = DATASETS[key]
+        _MEMO[memo_key] = spec.builder(spec, float(scale))
+    return _MEMO[memo_key]
+
+
+def clear_cache() -> None:
+    """Drop all memoised datasets (tests use this to bound memory)."""
+    _MEMO.clear()
+
+
+def dataset_table(scale: float | None = None, build: bool = False) -> list[dict]:
+    """Rows reproducing Table 1: paper sizes next to analog sizes.
+
+    With ``build=True`` the analogs are generated and their *actual* vertex /
+    edge counts (after dedup/symmetrisation) reported; otherwise the target
+    sizes are shown.
+    """
+    if scale is None:
+        scale = runtime_scale()
+    rows = []
+    for spec in DATASETS.values():
+        n, m = spec.scaled_sizes(scale)
+        row = {
+            "name": spec.name,
+            "paper_dataset": spec.paper_dataset,
+            "paper_vertices": spec.paper_vertices,
+            "paper_edges": spec.paper_edges,
+            "analog_vertices": n,
+            "analog_edges": m,
+        }
+        if build:
+            el = load_dataset(spec.name, scale)
+            row["analog_vertices"] = el.num_vertices
+            row["analog_edges"] = el.num_edges
+        rows.append(row)
+    return rows

@@ -1,0 +1,51 @@
+"""Distributed runtime substrate: the simulated cluster C-Graph runs on.
+
+The paper's testbed is a 9-node Xeon cluster with Socket/MPI networking.
+Offline, this reproduction substitutes an **in-process simulated cluster**
+(see DESIGN.md): each partition executes real vectorised compute, messages
+flow through explicit inbox/outbox buffers (Figure 4/5), and a calibrated
+:class:`~repro.runtime.netmodel.NetworkModel` converts counted work
+(edges scanned, messages, bytes, barriers) into *virtual seconds*, which the
+scalability experiments report.
+
+Layers:
+
+* :mod:`repro.runtime.message` — typed message batches and task buffers.
+* :mod:`repro.runtime.comm` — the exchange step (sync barrier / async drain)
+  with bitwise-OR / min combiners.
+* :mod:`repro.runtime.netmodel` — the cost model and virtual clock.
+* :mod:`repro.runtime.cluster` — machines + partition placement.
+* :mod:`repro.runtime.engine` — the superstep execution engine driving
+  partition tasks.
+* :mod:`repro.runtime.scheduler` — concurrent-query admission: batch mode
+  (bit-parallel) and pool mode (multi-worker FIFO), producing per-query
+  response times.
+"""
+
+from repro.runtime.message import MessageBatch, TaskBuffer
+from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
+from repro.runtime.cluster import Machine, SimCluster
+from repro.runtime.engine import PartitionTask, SuperstepEngine, EngineResult
+from repro.runtime.scheduler import (
+    QueryScheduler,
+    simulate_fifo_pool,
+    simulate_serialized,
+    batch_response_times,
+)
+
+__all__ = [
+    "MessageBatch",
+    "TaskBuffer",
+    "NetworkModel",
+    "StepStats",
+    "VirtualClock",
+    "Machine",
+    "SimCluster",
+    "PartitionTask",
+    "SuperstepEngine",
+    "EngineResult",
+    "QueryScheduler",
+    "simulate_fifo_pool",
+    "simulate_serialized",
+    "batch_response_times",
+]

@@ -1,0 +1,79 @@
+"""Simulated cluster: machines, partition placement, shared global state.
+
+One :class:`Machine` hosts one subgraph shard (Figure 2: "each node consists
+of a processing unit with a cached subgraph shard").  The cluster wires
+machines to the partitions of a :class:`~repro.graph.partition.PartitionedGraph`
+and owns the :class:`~repro.runtime.netmodel.NetworkModel` used to convert
+counted work into virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.partition import Partition, PartitionedGraph
+from repro.runtime.message import TaskBuffer
+from repro.runtime.netmodel import NetworkModel
+
+__all__ = ["Machine", "SimCluster"]
+
+
+@dataclass
+class Machine:
+    """A processing unit plus its cached subgraph shard and task buffers."""
+
+    machine_id: int
+    partition: Partition
+    inbox: TaskBuffer = field(default_factory=TaskBuffer)
+    outbox: TaskBuffer = field(default_factory=TaskBuffer)
+
+    @property
+    def lo(self) -> int:
+        return self.partition.lo
+
+    @property
+    def hi(self) -> int:
+        return self.partition.hi
+
+    @property
+    def num_local(self) -> int:
+        return self.partition.num_local
+
+
+class SimCluster:
+    """The set of machines executing one partitioned graph.
+
+    Parameters
+    ----------
+    pg:
+        The partitioned graph; machine ``i`` hosts partition ``i``.
+    netmodel:
+        Cost model for virtual time (a default-calibrated model if omitted).
+    """
+
+    def __init__(self, pg: PartitionedGraph, netmodel: NetworkModel | None = None):
+        self.pg = pg
+        self.netmodel = netmodel or NetworkModel()
+        self.machines = [Machine(p.part_id, p) for p in pg.partitions]
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    def owner_of(self, vertices) -> np.ndarray:
+        """Vectorised global-vertex -> machine-id lookup."""
+        return self.pg.owner_of(vertices)
+
+    def machine_of(self, vertex: int) -> Machine:
+        return self.machines[int(self.owner_of(vertex))]
+
+    def reset_buffers(self) -> None:
+        """Drop any queued messages (used between independent runs)."""
+        for m in self.machines:
+            m.inbox = TaskBuffer()
+            m.outbox = TaskBuffer()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimCluster(machines={self.num_machines}, graph={self.pg!r})"

@@ -1,0 +1,127 @@
+"""Typed message batches and the inbox/outbox task buffers of Figure 4/5.
+
+Each partition owns an *incoming task buffer* (inbox) and a *remote task
+buffer* (outbox).  "Each task is associated with the destination vertex's
+unique ID" — a :class:`MessageBatch` carries a destination-vertex array plus
+a same-length payload array, following the mpi4py idiom of shipping numpy
+buffers rather than per-object messages.
+
+Batches destined for the same partition can be *combined* before (or after)
+the wire: k-hop traversals combine by bitwise OR of query bit-masks, SSSP by
+elementwise minimum.  Combining models the paper's observation that
+concurrent queries share vertices — one message per vertex serves all
+queries in the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MessageBatch", "TaskBuffer", "combine_or", "combine_min", "combine_sum"]
+
+
+@dataclass
+class MessageBatch:
+    """A batch of tasks for one destination partition.
+
+    ``vertices`` are **global** destination vertex ids; ``payload`` is the
+    per-vertex message value (``uint64`` query bits for traversals,
+    ``float64`` distances for SSSP, etc.).
+    """
+
+    vertices: np.ndarray
+    payload: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices)
+        self.payload = np.asarray(self.payload)
+        if self.vertices.shape[0] != self.payload.shape[0]:
+            raise ValueError("vertices/payload length mismatch")
+
+    @property
+    def num_tasks(self) -> int:
+        return int(self.vertices.size)
+
+    def nbytes(self) -> int:
+        """Wire size: what the network model charges for this batch."""
+        return int(self.vertices.nbytes + self.payload.nbytes)
+
+
+def combine_or(batch: MessageBatch) -> MessageBatch:
+    """Deduplicate destinations, OR-ing payload bits (traversal combiner)."""
+    return _combine(batch, np.bitwise_or)
+
+
+def combine_min(batch: MessageBatch) -> MessageBatch:
+    """Deduplicate destinations, keeping the minimum payload (SSSP combiner)."""
+    return _combine(batch, np.minimum)
+
+
+def combine_sum(batch: MessageBatch) -> MessageBatch:
+    """Deduplicate destinations, summing payloads (GAS gather combiner)."""
+    return _combine(batch, np.add)
+
+
+def _combine(batch: MessageBatch, op) -> MessageBatch:
+    if batch.num_tasks == 0:
+        return batch
+    order = np.argsort(batch.vertices, kind="stable")
+    v = batch.vertices[order]
+    p = batch.payload[order]
+    group_start = np.concatenate([[True], v[1:] != v[:-1]])
+    starts = np.nonzero(group_start)[0]
+    out_v = v[starts]
+    out_p = op.reduceat(p, starts)
+    return MessageBatch(out_v, out_p)
+
+
+class TaskBuffer:
+    """A partition's task buffer: per-source (or per-destination) batches.
+
+    The outbox keys batches by destination partition; the inbox accumulates
+    batches delivered by the exchange step.  ``nbytes``/``num_tasks`` feed the
+    network cost model.
+    """
+
+    def __init__(self) -> None:
+        self._batches: dict[int, list[MessageBatch]] = {}
+
+    def append(self, partition_id: int, batch: MessageBatch) -> None:
+        """Queue ``batch`` under ``partition_id`` (skip empty batches)."""
+        if batch.num_tasks == 0:
+            return
+        self._batches.setdefault(partition_id, []).append(batch)
+
+    def partitions(self) -> list[int]:
+        """Partition ids that currently have queued batches."""
+        return sorted(self._batches)
+
+    def take(self, partition_id: int) -> list[MessageBatch]:
+        """Remove and return all batches queued under ``partition_id``."""
+        return self._batches.pop(partition_id, [])
+
+    def take_all(self) -> dict[int, list[MessageBatch]]:
+        """Drain the whole buffer."""
+        out, self._batches = self._batches, {}
+        return out
+
+    def merged(self, partition_id: int, combiner=combine_or) -> MessageBatch | None:
+        """Concatenate + combine every batch queued under ``partition_id``."""
+        batches = self._batches.get(partition_id)
+        if not batches:
+            return None
+        v = np.concatenate([b.vertices for b in batches])
+        p = np.concatenate([b.payload for b in batches])
+        return combiner(MessageBatch(v, p))
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._batches
+
+    def num_tasks(self) -> int:
+        return sum(b.num_tasks for bs in self._batches.values() for b in bs)
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes() for bs in self._batches.values() for b in bs)

@@ -1,0 +1,106 @@
+"""Tests for machine-readable export of experiment results."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments as E
+from repro.bench.export import export_result, result_rows, write_csv, write_json
+from repro.bench.timing import ResponseTimes
+from repro.graph.datasets import clear_cache
+
+TINY = 0.02
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    yield
+    clear_cache()
+
+
+class TestResultRows:
+    def test_table1(self):
+        rows = result_rows(E.table1(scale=TINY, build=False))
+        assert rows[0]["name"] == "OR-100M"
+        assert all("paper_edges" in r for r in rows)
+
+    def test_fig1_curve(self):
+        rows = result_rows(E.fig1_hop_plot(scale=0.05, num_sources=20))
+        assert rows[0]["distance"] == 0
+        assert rows[-1]["cumulative_fraction"] == pytest.approx(1.0)
+
+    def test_fig10_series(self):
+        res = E.fig10_pagerank_scaling(machines=(1, 3), datasets=("OR-100M",),
+                                       scale=0.2, iterations=2)
+        rows = result_rows(res)
+        assert rows[0]["machines"] == 1
+        assert rows[0]["OR-100M"] == pytest.approx(1.0)
+
+    def test_fig13_totals(self):
+        res = E.fig13_bfs_vs_gemini(counts=(1, 8), scale=TINY)
+        rows = result_rows(res)
+        assert rows[1]["concurrent_queries"] == 8
+        assert rows[1]["gemini_seconds"] > rows[1]["cgraph_seconds"]
+
+    def test_fig9_response_times(self):
+        res = E.fig9_data_size_scalability(
+            num_queries=5, scale=TINY, datasets=("OR-100M",)
+        )
+        rows = result_rows(res)
+        assert rows[0]["dataset"] == "OR-100M"
+        assert "p90" in rows[0]
+
+    def test_fig8_summaries(self):
+        res = E.fig8b_distribution_vs_gemini(num_queries=6, scale=TINY)
+        rows = result_rows(res)
+        assert len(rows) == 2
+        assert {r["label"] for r in rows} == {"C-Graph", "Gemini"}
+
+    def test_ablation_rows(self):
+        res = E.ablation_batch_width(num_queries=8, widths=(1, 8), scale=TINY)
+        rows = result_rows(res)
+        assert rows[0]["batch_width"] == 1
+
+    def test_fallback_scalars(self):
+        class Odd:
+            value = 3
+            name = "x"
+
+        rows = result_rows(Odd())
+        assert rows == [{"value": 3, "name": "x"}]
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 2, "b": 3.5}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["a"] == "1"
+        assert float(back[1]["b"]) == 3.5
+
+    def test_csv_heterogeneous_columns(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["b"] == ""
+        assert back[1]["b"] == "9"
+
+    def test_csv_empty(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_json_roundtrip(self, tmp_path):
+        rows = [{"x": np.int64(4), "y": np.float64(0.5)}]
+        path = write_json(rows, tmp_path / "out.json")
+        assert json.loads(path.read_text()) == [{"x": 4, "y": 0.5}]
+
+    def test_export_by_extension(self, tmp_path):
+        res = E.table1(scale=TINY, build=False)
+        csv_path = export_result(res, tmp_path / "t.csv")
+        json_path = export_result(res, tmp_path / "t.json")
+        assert csv_path.read_text().startswith("name,")
+        assert json.loads(json_path.read_text())[0]["name"] == "OR-100M"

@@ -1,0 +1,126 @@
+"""Tests for workload generation, timing statistics and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import format_histogram, format_series, format_table
+from repro.bench.timing import (
+    ResponseTimes,
+    fraction_within,
+    histogram_fractions,
+    percentile,
+)
+from repro.bench.workload import QueryWorkload, random_sources
+from repro.graph import EdgeList, star_graph
+
+
+class TestRandomSources:
+    def test_count_and_range(self, small_rmat):
+        s = random_sources(small_rmat, 50, seed=1)
+        assert s.size == 50
+        assert ((s >= 0) & (s < small_rmat.num_vertices)).all()
+
+    def test_deterministic_under_seed(self, small_rmat):
+        a = random_sources(small_rmat, 20, seed=5)
+        b = random_sources(small_rmat, 20, seed=5)
+        assert (a == b).all()
+
+    def test_min_degree_excludes_sinks(self):
+        el = EdgeList.from_pairs([(0, 1)], num_vertices=10)
+        s = random_sources(el, 30, seed=0, min_out_degree=1)
+        assert (s == 0).all()
+
+    def test_no_eligible_roots_raises(self):
+        el = EdgeList.empty(5)
+        with pytest.raises(ValueError):
+            random_sources(el, 3)
+
+
+class TestQueryWorkload:
+    def test_generate_shape(self, small_rmat):
+        w = QueryWorkload.generate(small_rmat, 10, k=3, roots_per_query=4, seed=2)
+        assert w.num_queries == 10
+        assert w.roots_per_query == 4
+        assert w.all_roots().size == 40
+
+    def test_per_query_mean(self, small_rmat):
+        w = QueryWorkload.generate(small_rmat, 3, k=2, roots_per_query=2, seed=0)
+        values = np.array([1.0, 3.0, 2.0, 4.0, 10.0, 20.0])
+        assert w.per_query_mean(values).tolist() == [2.0, 3.0, 15.0]
+
+    def test_per_query_mean_shape_check(self, small_rmat):
+        w = QueryWorkload.generate(small_rmat, 3, k=2, roots_per_query=2)
+        with pytest.raises(ValueError):
+            w.per_query_mean(np.ones(5))
+
+
+class TestTimingStats:
+    def test_percentile(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_fraction_within(self):
+        assert fraction_within([0.1, 0.5, 2.0, 3.0], 1.0) == 0.5
+        assert fraction_within([], 1.0) == 1.0
+
+    def test_histogram_fractions_sum(self):
+        times = [0.1, 0.3, 0.5, 1.9]
+        edges = np.arange(0, 2.2, 0.2)
+        pct = histogram_fractions(times, edges)
+        assert pct.sum() == pytest.approx(100.0)
+
+    def test_histogram_right_edge_inclusive(self):
+        pct = histogram_fractions([2.0], np.array([0.0, 1.0, 2.0]))
+        assert pct[-1] == pytest.approx(100.0)
+        assert pct.sum() == pytest.approx(100.0)
+
+    def test_response_times_summary(self):
+        rt = ResponseTimes("x", [1.0, 2.0, 3.0])
+        s = rt.summary()
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_sorted(self):
+        rt = ResponseTimes("x", [3.0, 1.0, 2.0])
+        assert rt.sorted().tolist() == [1.0, 2.0, 3.0]
+
+    def test_speedup_over(self):
+        fast = ResponseTimes("f", [1.0, 2.0])
+        slow = ResponseTimes("s", [10.0, 40.0])
+        lo, hi = fast.speedup_over(slow)
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(20.0)
+
+    def test_speedup_requires_equal_sizes(self):
+        with pytest.raises(ValueError):
+            ResponseTimes("a", [1.0]).speedup_over(ResponseTimes("b", [1.0, 2.0]))
+
+
+class TestReportFormatting:
+    def test_format_table_aligns_columns(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([], title="T") == "T\n"
+        assert format_table([]) == ""
+
+    def test_format_histogram_bars_scale(self):
+        text = format_histogram([0, 1, 2], [75.0, 25.0], title="H")
+        lines = text.splitlines()
+        assert lines[0] == "H"
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_format_series(self):
+        text = format_series(
+            [1, 2], {"sys": np.array([0.5, 0.25])}, x_label="n", title="S"
+        )
+        assert "sys" in text
+        assert "0.25" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 1.23456789e-8}])
+        assert "e-08" in text

@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic graphs used across the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    EdgeList,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    rmat_edges,
+    star_graph,
+)
+
+
+@pytest.fixture
+def tiny_graph() -> EdgeList:
+    """The 10-vertex example of the paper's Figure 6 family: two partitions
+    of 5 vertices each, edges crossing the boundary."""
+    pairs = [
+        (0, 1), (0, 2), (1, 3), (2, 3), (3, 4),
+        (4, 5), (5, 6), (6, 7), (7, 8), (8, 9),
+        (9, 0), (2, 7), (5, 1), (6, 3),
+    ]
+    return EdgeList.from_pairs(pairs, num_vertices=10)
+
+
+@pytest.fixture
+def small_rmat() -> EdgeList:
+    """A 256-vertex R-MAT graph, deduplicated, no self loops."""
+    return rmat_edges(8, 3000, seed=7).remove_self_loops().deduplicate()
+
+
+@pytest.fixture
+def medium_rmat() -> EdgeList:
+    """A 1024-vertex R-MAT graph for cross-module integration tests."""
+    return rmat_edges(10, 12000, seed=11).remove_self_loops().deduplicate()
+
+
+@pytest.fixture
+def small_er() -> EdgeList:
+    return erdos_renyi(200, 1200, seed=3).remove_self_loops().deduplicate()
+
+
+@pytest.fixture
+def line10() -> EdgeList:
+    return path_graph(10, directed=True)
+
+
+@pytest.fixture
+def star20() -> EdgeList:
+    return star_graph(20)
+
+
+@pytest.fixture
+def grid_5x5() -> EdgeList:
+    return grid_graph(5, 5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

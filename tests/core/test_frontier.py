@@ -1,0 +1,132 @@
+"""Unit tests for the bit-parallel frontier planes (§3.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frontier import BitFrontier, per_query_counts, popcount
+
+
+class TestPopcount:
+    def test_known_values(self):
+        x = np.array([0, 1, 3, 0xFF, 2**63], dtype=np.uint64)
+        assert popcount(x).tolist() == [0, 1, 2, 8, 1]
+
+    def test_all_ones(self):
+        x = np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+        assert popcount(x).tolist() == [64]
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=st.integers(0, 2**64 - 1))
+    def test_matches_python_bitcount(self, v):
+        arr = np.array([v], dtype=np.uint64)
+        assert popcount(arr)[0] == v.bit_count()
+
+
+class TestPerQueryCounts:
+    def test_counts_columns(self):
+        bits = np.array([0b01, 0b11, 0b10], dtype=np.uint64)
+        counts = per_query_counts(bits, 2)
+        assert counts.tolist() == [2, 2]
+
+    def test_zero_queries_width(self):
+        bits = np.zeros(4, dtype=np.uint64)
+        assert per_query_counts(bits, 3).tolist() == [0, 0, 0]
+
+
+class TestBitFrontier:
+    def test_width_bounds(self):
+        with pytest.raises(ValueError):
+            BitFrontier(4, 0)
+        with pytest.raises(ValueError):
+            BitFrontier(4, 65)
+        BitFrontier(4, 64)  # max width OK
+
+    def test_seed_sets_frontier_and_visited(self):
+        f = BitFrontier(4, 2)
+        f.seed(1, 0)
+        f.seed(1, 1)
+        assert f.frontier[1] == 0b11
+        assert f.visited[1] == 0b11
+        assert f.active_vertices().tolist() == [1]
+
+    def test_seed_out_of_batch_rejected(self):
+        f = BitFrontier(4, 2)
+        with pytest.raises(ValueError):
+            f.seed(0, 2)
+
+    def test_or_into_next_accumulates_duplicates(self):
+        f = BitFrontier(4, 3)
+        f.or_into_next(
+            np.array([2, 2]), np.array([0b001, 0b100], dtype=np.uint64)
+        )
+        assert f.next[2] == 0b101
+
+    def test_promote_masks_visited(self):
+        f = BitFrontier(4, 2)
+        f.seed(0, 0)  # vertex 0 visited by query 0
+        f.or_into_next(np.array([0, 1]), np.array([0b01, 0b01], dtype=np.uint64))
+        newly = f.promote()
+        # vertex 0 already visited by query 0 -> masked out; vertex 1 is new
+        assert newly[0] == 0
+        assert newly[1] == 0b01
+        assert f.frontier[1] == 0b01
+        assert f.visited[1] == 0b01
+
+    def test_promote_applies_query_mask(self):
+        f = BitFrontier(2, 2)  # only queries 0,1 valid
+        f.or_into_next(np.array([0]), np.array([0b111], dtype=np.uint64))
+        newly = f.promote()
+        assert newly[0] == 0b11  # bit 2 masked off
+
+    def test_promote_clears_next(self):
+        f = BitFrontier(3, 1)
+        f.or_into_next(np.array([1]), np.array([1], dtype=np.uint64))
+        f.promote()
+        assert (f.next == 0).all()
+
+    def test_alive_bits(self):
+        f = BitFrontier(4, 3)
+        f.seed(0, 0)
+        f.seed(3, 2)
+        assert int(f.alive_bits()) == 0b101
+
+    def test_alive_bits_empty_partition(self):
+        f = BitFrontier(0, 2)
+        assert int(f.alive_bits()) == 0
+
+    def test_visited_and_frontier_counts(self):
+        f = BitFrontier(4, 2)
+        f.seed(0, 0)
+        f.seed(1, 0)
+        f.seed(1, 1)
+        assert f.visited_counts().tolist() == [2, 1]
+        assert f.frontier_counts().tolist() == [2, 1]
+
+    def test_nbytes(self):
+        f = BitFrontier(100, 64)
+        assert f.nbytes() == 3 * 100 * 8
+
+    def test_visited_monotone_under_promote(self):
+        """The visited plane only ever gains bits (Figure 5 invariant)."""
+        rng = np.random.default_rng(0)
+        f = BitFrontier(32, 8)
+        f.seed(0, 0)
+        prev = f.visited.copy()
+        for _ in range(10):
+            verts = rng.integers(0, 32, size=20)
+            bits = rng.integers(0, 256, size=20).astype(np.uint64)
+            f.or_into_next(verts, bits)
+            f.promote()
+            assert ((f.visited & prev) == prev).all()
+            prev = f.visited.copy()
+
+    def test_frontier_disjoint_from_prior_visited(self):
+        """After promote, the new frontier never revisits a vertex/query."""
+        f = BitFrontier(8, 4)
+        f.seed(2, 1)
+        before = f.visited.copy()
+        f.or_into_next(np.array([2, 3]), np.array([0b10, 0b10], dtype=np.uint64))
+        newly = f.promote()
+        assert (newly & before).max() == 0

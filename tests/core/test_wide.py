@@ -1,0 +1,140 @@
+"""Tests for cache-line-wide (multi-word) query batches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import run_query_stream
+from repro.core.khop import concurrent_khop
+from repro.core.wide import MAX_WIDE_BATCH, WideBitFrontier, concurrent_khop_wide
+from repro.graph import EdgeList, range_partition
+
+
+class TestWideBitFrontier:
+    def test_word_count(self):
+        assert WideBitFrontier(4, 64).words == 1
+        assert WideBitFrontier(4, 65).words == 2
+        assert WideBitFrontier(4, 512).words == 8
+
+    def test_width_bounds(self):
+        with pytest.raises(ValueError):
+            WideBitFrontier(4, 0)
+        with pytest.raises(ValueError):
+            WideBitFrontier(4, MAX_WIDE_BATCH + 1)
+
+    def test_seed_lands_in_right_word(self):
+        f = WideBitFrontier(4, 200)
+        f.seed(1, 0)
+        f.seed(1, 64)
+        f.seed(2, 199)
+        assert f.frontier[1, 0] == 1
+        assert f.frontier[1, 1] == 1
+        assert f.frontier[2, 3] == np.uint64(1 << (199 - 192))
+
+    def test_seed_out_of_batch(self):
+        f = WideBitFrontier(4, 100)
+        with pytest.raises(ValueError):
+            f.seed(0, 100)
+
+    def test_query_mask_trims_partial_word(self):
+        f = WideBitFrontier(2, 70)  # words=2, second word has 6 valid bits
+        f.or_into_next(
+            np.array([0]),
+            np.array([[0, 0xFFFFFFFFFFFFFFFF]], dtype=np.uint64),
+        )
+        newly = f.promote()
+        assert newly[0, 1] == np.uint64((1 << 6) - 1)
+
+    def test_promote_masks_visited_per_word(self):
+        f = WideBitFrontier(2, 128)
+        f.seed(0, 0)
+        f.seed(0, 127)
+        f.or_into_next(
+            np.array([0, 1]),
+            np.array([[1, 1 << 63], [1, 1 << 63]], dtype=np.uint64),
+        )
+        newly = f.promote()
+        assert (newly[0] == 0).all()  # both already visited at vertex 0
+        assert newly[1, 0] == 1 and newly[1, 1] == np.uint64(1 << 63)
+
+    def test_alive_bits_across_words(self):
+        f = WideBitFrontier(4, 130)
+        f.seed(0, 5)
+        f.seed(3, 129)
+        alive = f.alive_bits()
+        assert alive[0] == np.uint64(1 << 5)
+        assert alive[2] == np.uint64(1 << 1)
+
+    def test_visited_counts(self):
+        f = WideBitFrontier(4, 70)
+        f.seed(0, 0)
+        f.seed(1, 0)
+        f.seed(2, 69)
+        counts = f.visited_counts()
+        assert counts[0] == 2
+        assert counts[69] == 1
+        assert counts[1:69].sum() == 0
+
+    def test_nbytes(self):
+        f = WideBitFrontier(10, 512)
+        assert f.nbytes() == 3 * 10 * 8 * 8
+
+
+class TestConcurrentKHopWide:
+    def test_matches_single_word_engine(self, small_rmat):
+        sources = list(range(40))
+        wide = concurrent_khop_wide(small_rmat, sources, k=3, num_machines=3)
+        narrow = concurrent_khop(small_rmat, sources, k=3, num_machines=3)
+        assert (wide.reached == narrow.reached).all()
+
+    def test_beyond_64_queries(self, small_rmat):
+        sources = list(range(150))
+        wide = concurrent_khop_wide(small_rmat, sources, k=2, num_machines=2)
+        stream = run_query_stream(small_rmat, sources, k=2, batch_width=64,
+                                  num_machines=2)
+        assert (wide.reached == stream.reached).all()
+        assert wide.words == 3
+
+    def test_wide_scans_fewer_edges_than_word_batches(self, medium_rmat):
+        """One 256-wide pass shares more than four 64-wide passes."""
+        pg = range_partition(medium_rmat, 2)
+        sources = list(range(256))
+        wide = concurrent_khop_wide(pg, sources, k=3)
+        stream = run_query_stream(pg, sources, k=3, batch_width=64)
+        assert (wide.reached == stream.reached).all()
+        assert wide.total_edges_scanned < stream.total_edges_scanned
+
+    def test_full_512(self, small_rmat):
+        sources = [i % small_rmat.num_vertices for i in range(512)]
+        res = concurrent_khop_wide(small_rmat, sources, k=1)
+        assert res.num_queries == 512
+        # duplicated sources get identical answers
+        assert res.reached[0] == res.reached[256]
+
+    def test_width_bounds(self, small_rmat):
+        with pytest.raises(ValueError):
+            concurrent_khop_wide(small_rmat, [], k=1)
+        with pytest.raises(ValueError):
+            concurrent_khop_wide(small_rmat, list(range(513)), k=1)
+
+    def test_source_range(self, small_rmat):
+        with pytest.raises(ValueError):
+            concurrent_khop_wide(small_rmat, [99999], k=1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=1, max_size=40,
+        ),
+        width=st.integers(65, 140),
+        k=st.integers(1, 3),
+    )
+    def test_property_wide_equals_narrow(self, pairs, width, k):
+        el = EdgeList.from_pairs(pairs, num_vertices=13)
+        sources = [i % 13 for i in range(width)]
+        wide = concurrent_khop_wide(el, sources, k=k, num_machines=2)
+        # compare the first 13 distinct queries against the narrow engine
+        narrow = concurrent_khop(el, sources[:13], k=k, num_machines=2)
+        assert (wide.reached[:13] == narrow.reached).all()

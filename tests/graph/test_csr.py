@@ -1,0 +1,149 @@
+"""Unit tests for CSR/CSC construction and the range-expansion primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_csc, build_csr
+from repro.graph.csr import expand_ranges
+
+
+class TestBuildCSR:
+    def test_neighbors_match_edge_list(self, tiny_graph):
+        csr = build_csr(tiny_graph.src, tiny_graph.dst, tiny_graph.num_vertices)
+        assert set(csr.neighbors(0).tolist()) == {1, 2}
+        assert set(csr.neighbors(2).tolist()) == {3, 7}
+        assert csr.neighbors(1).tolist() == [3]
+
+    def test_columns_sorted_within_row(self, small_rmat):
+        csr = build_csr(small_rmat.src, small_rmat.dst, small_rmat.num_vertices)
+        for v in range(0, small_rmat.num_vertices, 17):
+            nbrs = csr.neighbors(v)
+            assert (np.diff(nbrs) >= 0).all()
+
+    def test_nnz_and_degrees(self, tiny_graph):
+        csr = build_csr(tiny_graph.src, tiny_graph.dst, tiny_graph.num_vertices)
+        assert csr.nnz == tiny_graph.num_edges
+        assert (csr.degrees() == tiny_graph.out_degrees()).all()
+        assert csr.degree(0) == 2
+
+    def test_empty_graph(self):
+        csr = build_csr(np.empty(0, int), np.empty(0, int), 4)
+        assert csr.num_rows == 4
+        assert csr.nnz == 0
+        assert csr.neighbors(2).size == 0
+
+    def test_weights_follow_edges(self):
+        src = np.array([1, 0, 1])
+        dst = np.array([2, 1, 0])
+        w = np.array([10.0, 20.0, 30.0])
+        csr = build_csr(src, dst, 3, weights=w)
+        # row 1 has columns sorted: [0, 2] with weights [30, 10]
+        assert csr.neighbors(1).tolist() == [0, 2]
+        assert csr.neighbor_weights(1).tolist() == [30.0, 10.0]
+
+    def test_neighbor_weights_requires_weights(self, tiny_graph):
+        csr = build_csr(tiny_graph.src, tiny_graph.dst, tiny_graph.num_vertices)
+        with pytest.raises(ValueError):
+            csr.neighbor_weights(0)
+
+    def test_row_out_of_declared_range_raises(self):
+        with pytest.raises(ValueError):
+            build_csr(np.array([5]), np.array([0]), num_rows=3)
+
+    def test_nbytes_positive(self, tiny_graph):
+        csr = build_csr(tiny_graph.src, tiny_graph.dst, tiny_graph.num_vertices)
+        assert csr.nbytes() > 0
+
+
+class TestBuildCSC:
+    def test_csc_lists_in_neighbors(self, tiny_graph):
+        csc = build_csc(tiny_graph.src, tiny_graph.dst, tiny_graph.num_vertices)
+        assert set(csc.neighbors(3).tolist()) == {1, 2, 6}
+        assert set(csc.neighbors(0).tolist()) == {9}
+
+    def test_csr_csc_duality(self, small_rmat):
+        """CSC of G equals CSR of reversed G, edge for edge."""
+        n = small_rmat.num_vertices
+        csc = build_csc(small_rmat.src, small_rmat.dst, n)
+        rev = build_csr(small_rmat.dst, small_rmat.src, n)
+        assert (csc.indptr == rev.indptr).all()
+        assert (csc.indices == rev.indices).all()
+
+
+class TestGatherEdges:
+    def test_gather_edges_covers_frontier(self, tiny_graph):
+        csr = build_csr(tiny_graph.src, tiny_graph.dst, tiny_graph.num_vertices)
+        pos, mult = csr.gather_edges(np.array([0, 2]))
+        targets = csr.indices[pos]
+        assert sorted(targets.tolist()) == [1, 2, 3, 7]
+        assert mult.tolist() == [2, 2]
+
+    def test_gather_edges_empty_frontier(self, tiny_graph):
+        csr = build_csr(tiny_graph.src, tiny_graph.dst, tiny_graph.num_vertices)
+        pos, mult = csr.gather_edges(np.empty(0, dtype=np.int64))
+        assert pos.size == 0
+        assert mult.size == 0
+
+    def test_gather_edges_with_zero_degree_rows(self):
+        csr = build_csr(np.array([0, 2]), np.array([1, 1]), 3)
+        pos, mult = csr.gather_edges(np.array([0, 1, 2]))
+        assert mult.tolist() == [1, 0, 1]
+        assert csr.indices[pos].tolist() == [1, 1]
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        out = expand_ranges([0, 5], [3, 7])
+        assert out.tolist() == [0, 1, 2, 5, 6]
+
+    def test_empty_ranges_interleaved(self):
+        out = expand_ranges([0, 3, 3, 8], [2, 3, 3, 10])
+        assert out.tolist() == [0, 1, 8, 9]
+
+    def test_all_empty(self):
+        assert expand_ranges([4, 4], [4, 4]).size == 0
+
+    def test_no_ranges(self):
+        assert expand_ranges([], []).size == 0
+
+    def test_leading_empty_range(self):
+        out = expand_ranges([9, 2], [9, 5])
+        assert out.tolist() == [2, 3, 4]
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            expand_ranges([5], [3])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        ranges=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 20)), min_size=0, max_size=20
+        )
+    )
+    def test_matches_naive(self, ranges):
+        starts = np.array([s for s, _ in ranges], dtype=np.int64)
+        ends = starts + np.array([l for _, l in ranges], dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(s, e) for s, e in zip(starts, ends)]
+        ) if ranges else np.empty(0)
+        got = expand_ranges(starts, ends)
+        assert got.tolist() == expected.tolist()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=0, max_size=60
+    )
+)
+def test_csr_roundtrip_property(pairs):
+    """Every input edge appears exactly once in the CSR, in its source row."""
+    src = np.array([a for a, _ in pairs], dtype=np.int64)
+    dst = np.array([b for _, b in pairs], dtype=np.int64)
+    csr = build_csr(src, dst, 16)
+    rebuilt = []
+    for v in range(16):
+        rebuilt.extend((v, int(t)) for t in csr.neighbors(v))
+    assert sorted(rebuilt) == sorted(pairs)

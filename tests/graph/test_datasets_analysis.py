@@ -1,0 +1,199 @@
+"""Tests for the dataset registry (Table 1 analogs) and graph analysis (Fig 1)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DATASETS,
+    dataset_table,
+    degree_statistics,
+    effective_diameter,
+    hop_plot,
+    largest_connected_component_size,
+    load_dataset,
+    path_graph,
+    star_graph,
+)
+from repro.graph.analysis import bfs_levels
+from repro.graph.datasets import clear_cache
+
+
+class TestDatasets:
+    def test_registry_mirrors_table1(self):
+        assert set(DATASETS) >= {"OR-100M", "FR-1B", "FRS-72B", "FRS-100B"}
+        spec = DATASETS["OR-100M"]
+        assert spec.paper_vertices == 3_072_441
+        assert spec.paper_edges == 117_185_083
+
+    def test_load_small_scale(self):
+        el = load_dataset("OR-100M", scale=0.05)
+        assert el.num_vertices > 0
+        assert el.num_edges > 0
+        clear_cache()
+
+    def test_load_is_memoised(self):
+        a = load_dataset("OR-100M", scale=0.05)
+        b = load_dataset("OR-100M", scale=0.05)
+        assert a is b
+        clear_cache()
+
+    def test_load_case_insensitive(self):
+        a = load_dataset("or-100m", scale=0.05)
+        assert a.num_edges > 0
+        clear_cache()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("TWITTER")
+
+    def test_analog_is_symmetric(self):
+        el = load_dataset("FRS-72B", scale=0.02)
+        pairs = set(zip(el.src.tolist(), el.dst.tolist()))
+        assert all((b, a) in pairs for (a, b) in pairs)
+        clear_cache()
+
+    def test_analog_avg_degree_tracks_paper(self):
+        """FRS-72B's analog must be much denser than FR-1B's (550 vs 27)."""
+        frs = load_dataset("FRS-72B", scale=0.05)
+        fr = load_dataset("FR-1B", scale=0.05)
+        assert (frs.num_edges / frs.num_vertices) > (fr.num_edges / fr.num_vertices)
+        clear_cache()
+
+    def test_dataset_table_targets(self):
+        rows = dataset_table(scale=1.0)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["FR-1B"]["analog_edges"] == 1_806_067
+        assert by_name["FR-1B"]["paper_edges"] == 1_806_067_135
+
+    def test_dataset_table_build(self):
+        rows = dataset_table(scale=0.02, build=True)
+        for r in rows:
+            assert r["analog_vertices"] > 0
+            assert r["analog_edges"] > 0
+        clear_cache()
+
+    def test_scaled_sizes_floor(self):
+        n, m = DATASETS["OR-100M"].scaled_sizes(1e-9)
+        assert n >= 16 and m >= 32
+
+
+class TestBFSLevels:
+    def test_path_levels(self):
+        el = path_graph(6, directed=True)
+        lv = bfs_levels(el, 0)
+        assert lv.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_unreachable_is_minus_one(self):
+        el = path_graph(6, directed=True)
+        lv = bfs_levels(el, 3)
+        assert lv.tolist() == [-1, -1, -1, 0, 1, 2]
+
+    def test_star_levels(self):
+        el = star_graph(5)
+        lv = bfs_levels(el, 1)
+        assert lv[1] == 0 and lv[0] == 1
+        assert (lv[2:] == 2).all()
+
+    def test_matches_networkx(self, small_rmat):
+        import networkx as nx
+
+        g = small_rmat.to_networkx()
+        ours = bfs_levels(small_rmat, 0)
+        theirs = nx.single_source_shortest_path_length(g, 0)
+        for v in range(small_rmat.num_vertices):
+            if v in theirs:
+                assert ours[v] == theirs[v]
+            else:
+                assert ours[v] == -1
+
+
+class TestHopPlot:
+    def test_path_hop_plot_exact(self):
+        el = path_graph(4)  # undirected path: distances 0..3
+        d, cdf = hop_plot(el)
+        # pair counts per distance: d0:4, d1:6, d2:4, d3:2 -> total 16
+        assert d.tolist() == [0, 1, 2, 3]
+        np.testing.assert_allclose(cdf, np.cumsum([4, 6, 4, 2]) / 16)
+
+    def test_cdf_monotone_reaches_one(self, small_rmat):
+        d, cdf = hop_plot(small_rmat, num_sources=40, seed=1)
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert np.isclose(cdf[-1], 1.0)
+
+    def test_sampling_reduces_work_but_keeps_shape(self, small_rmat):
+        d_full, cdf_full = hop_plot(small_rmat)
+        d_smp, cdf_smp = hop_plot(small_rmat, num_sources=60, seed=2)
+        # effective diameters agree within half a hop on this small graph
+        assert abs(
+            effective_diameter(d_full, cdf_full, 0.9)
+            - effective_diameter(d_smp, cdf_smp, 0.9)
+        ) < 0.75
+
+    def test_empty_graph(self):
+        from repro.graph import EdgeList
+
+        d, cdf = hop_plot(EdgeList.empty(3))
+        assert cdf[-1] == 1.0
+
+
+class TestEffectiveDiameter:
+    def test_exact_quantile_on_step(self):
+        d = np.array([0, 1, 2, 3])
+        cdf = np.array([0.1, 0.5, 0.9, 1.0])
+        assert effective_diameter(d, cdf, 0.5) == pytest.approx(1.0)
+
+    def test_interpolation(self):
+        d = np.array([0, 1, 2])
+        cdf = np.array([0.2, 0.4, 1.0])
+        # 0.7 sits 50% between cdf=0.4 (d=1) and cdf=1.0 (d=2)
+        assert effective_diameter(d, cdf, 0.7) == pytest.approx(1.5)
+
+    def test_quantile_below_first(self):
+        d = np.array([0, 1])
+        cdf = np.array([0.5, 1.0])
+        assert effective_diameter(d, cdf, 0.3) == 0.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            effective_diameter(np.array([0]), np.array([1.0]), 0.0)
+
+    def test_slashdot_analog_small_world(self):
+        """Fig 1 analog: delta_0.9 stays small on the small-world dataset."""
+        el = load_dataset("SLASHDOT-ZOO", scale=0.1)
+        d, cdf = hop_plot(el, num_sources=50, seed=0)
+        d90 = effective_diameter(d, cdf, 0.9)
+        assert d90 < 12  # small-world: far below vertex count
+        clear_cache()
+
+
+class TestDegreeStatistics:
+    def test_fields(self, small_rmat):
+        stats = degree_statistics(small_rmat)
+        assert stats["vertices"] == small_rmat.num_vertices
+        assert stats["edges"] == small_rmat.num_edges
+        assert stats["max_out_degree"] >= stats["avg_out_degree"]
+        assert 0.0 <= stats["gini_out_degree"] <= 1.0
+
+    def test_star_is_more_skewed_than_regular(self):
+        from repro.graph import complete_graph
+
+        star = degree_statistics(star_graph(50))
+        regular = degree_statistics(complete_graph(6))
+        assert star["gini_out_degree"] > 0.4 > regular["gini_out_degree"]
+
+    def test_regular_graph_has_zero_gini(self):
+        from repro.graph import complete_graph
+
+        stats = degree_statistics(complete_graph(6))
+        assert stats["gini_out_degree"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestConnectedComponent:
+    def test_connected_graph(self, grid_5x5):
+        assert largest_connected_component_size(grid_5x5) == 25
+
+    def test_two_components(self):
+        from repro.graph import EdgeList
+
+        el = EdgeList.from_pairs([(0, 1), (1, 2), (5, 6)], num_vertices=7)
+        assert largest_connected_component_size(el) == 3

@@ -1,0 +1,173 @@
+"""Unit tests for the EdgeList container and ingestion preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeList
+
+
+class TestConstruction:
+    def test_from_pairs_infers_vertex_count(self):
+        el = EdgeList.from_pairs([(0, 3), (2, 1)])
+        assert el.num_vertices == 4
+        assert el.num_edges == 2
+
+    def test_from_pairs_explicit_vertex_count(self):
+        el = EdgeList.from_pairs([(0, 1)], num_vertices=10)
+        assert el.num_vertices == 10
+
+    def test_empty(self):
+        el = EdgeList.empty(5)
+        assert el.num_vertices == 5
+        assert el.num_edges == 0
+        assert not el.is_weighted
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            EdgeList(np.array([0]), np.array([5]), num_vertices=3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            EdgeList(np.array([-1]), np.array([0]), num_vertices=3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            EdgeList(np.array([0, 1]), np.array([0]), num_vertices=3)
+
+    def test_rejects_mismatched_weights(self):
+        with pytest.raises(ValueError):
+            EdgeList(np.array([0]), np.array([1]), 2, weight=np.array([1.0, 2.0]))
+
+    def test_dtype_coercion(self):
+        el = EdgeList(np.array([0], dtype=np.int64), np.array([1], dtype=np.int16), 2)
+        assert el.src.dtype == np.int32
+        assert el.dst.dtype == np.int32
+
+    def test_weighted_flag(self):
+        el = EdgeList.from_pairs([(0, 1)], weights=[2.5])
+        assert el.is_weighted
+        assert el.weight[0] == 2.5
+
+
+class TestDegrees:
+    def test_out_degrees(self, tiny_graph):
+        deg = tiny_graph.out_degrees()
+        assert deg.sum() == tiny_graph.num_edges
+        assert deg[0] == 2  # 0->1, 0->2
+
+    def test_in_degrees(self, tiny_graph):
+        deg = tiny_graph.in_degrees()
+        assert deg.sum() == tiny_graph.num_edges
+        assert deg[3] == 3  # from 1, 2, 6
+
+    def test_total_degrees(self, tiny_graph):
+        total = tiny_graph.total_degrees()
+        assert (total == tiny_graph.out_degrees() + tiny_graph.in_degrees()).all()
+
+    def test_degrees_of_isolated_vertex(self):
+        el = EdgeList.from_pairs([(0, 1)], num_vertices=5)
+        assert el.out_degrees()[4] == 0
+        assert el.in_degrees()[4] == 0
+
+
+class TestTransformations:
+    def test_deduplicate_removes_parallel_edges(self):
+        el = EdgeList.from_pairs([(0, 1), (0, 1), (1, 2)])
+        dd = el.deduplicate()
+        assert dd.num_edges == 2
+
+    def test_deduplicate_keeps_first_weight(self):
+        el = EdgeList.from_pairs([(0, 1), (0, 1)], weights=[3.0, 9.0])
+        dd = el.deduplicate()
+        assert dd.num_edges == 1
+        assert dd.weight[0] == 3.0
+
+    def test_deduplicate_empty(self):
+        el = EdgeList.empty(3)
+        assert el.deduplicate().num_edges == 0
+
+    def test_remove_self_loops(self):
+        el = EdgeList.from_pairs([(0, 0), (0, 1), (1, 1)])
+        assert el.remove_self_loops().num_edges == 1
+
+    def test_symmetrize_adds_reverse_edges(self):
+        el = EdgeList.from_pairs([(0, 1)], num_vertices=2)
+        sym = el.symmetrize()
+        pairs = set(zip(sym.src.tolist(), sym.dst.tolist()))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_symmetrize_is_idempotent_on_edge_count(self, small_rmat):
+        s1 = small_rmat.symmetrize()
+        s2 = s1.symmetrize()
+        assert s1.num_edges == s2.num_edges
+
+    def test_reindex_degree_puts_hub_first(self, star20):
+        re, mapping = star20.reindex("degree")
+        # the hub (old id 0) has the largest degree -> new id 0
+        assert mapping[0] == 0
+        assert re.num_edges == star20.num_edges
+
+    def test_reindex_identity(self, tiny_graph):
+        re, mapping = tiny_graph.reindex("identity")
+        assert (mapping == np.arange(10)).all()
+        assert (re.src == tiny_graph.src).all()
+
+    def test_reindex_unknown_order_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.reindex("zigzag")
+
+    def test_reindex_preserves_structure(self, small_rmat):
+        re, mapping = small_rmat.reindex("degree")
+        # mapping is a permutation
+        assert sorted(mapping.tolist()) == list(range(small_rmat.num_vertices))
+        # degree multiset is preserved
+        assert sorted(re.out_degrees().tolist()) == sorted(
+            small_rmat.out_degrees().tolist()
+        )
+
+    def test_with_unit_weights(self, tiny_graph):
+        w = tiny_graph.with_unit_weights()
+        assert w.is_weighted
+        assert (w.weight == 1.0).all()
+
+
+class TestInterop:
+    def test_to_networkx_roundtrip_counts(self, tiny_graph):
+        g = tiny_graph.to_networkx()
+        assert g.number_of_nodes() == 10
+        assert g.number_of_edges() == tiny_graph.num_edges
+
+    def test_to_networkx_weighted(self):
+        el = EdgeList.from_pairs([(0, 1)], weights=[4.5])
+        g = el.to_networkx()
+        assert g[0][1]["weight"] == 4.5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=0, max_size=80
+    )
+)
+def test_dedup_property(pairs):
+    """Dedup yields exactly the set of distinct pairs, order-independent."""
+    el = EdgeList.from_pairs(pairs, num_vertices=31)
+    dd = el.deduplicate()
+    assert dd.num_edges == len(set(pairs))
+    assert set(zip(dd.src.tolist(), dd.dst.tolist())) == set(pairs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=60
+    )
+)
+def test_symmetrize_property(pairs):
+    """After symmetrize, the edge set is closed under reversal."""
+    el = EdgeList.from_pairs(pairs, num_vertices=21)
+    sym = el.symmetrize()
+    s = set(zip(sym.src.tolist(), sym.dst.tolist()))
+    assert all((b, a) in s for (a, b) in s)

@@ -1,0 +1,164 @@
+"""Unit tests for the edge-set (blocked adjacency) representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import EdgeSetMatrix, degree_balanced_ranges
+from repro.graph.csr import build_csr
+
+
+def _matrix_from_edges(pairs, n, row_blocks=2, col_blocks=2, weights=None):
+    src = np.array([a for a, _ in pairs], dtype=np.int64)
+    dst = np.array([b for _, b in pairs], dtype=np.int64)
+    deg_out = np.bincount(src, minlength=n)
+    deg_in = np.bincount(dst, minlength=n)
+    rb = degree_balanced_ranges(deg_out, row_blocks)
+    cb = degree_balanced_ranges(deg_in, col_blocks)
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    return EdgeSetMatrix(src, dst, n, n, rb, cb, weights=w)
+
+
+class TestDegreeBalancedRanges:
+    def test_even_degrees_even_split(self):
+        b = degree_balanced_ranges(np.ones(8, dtype=int), 4)
+        assert b.tolist() == [0, 2, 4, 6, 8]
+
+    def test_skewed_degrees(self):
+        deg = np.array([100, 1, 1, 1, 1, 1, 1, 1])
+        b = degree_balanced_ranges(deg, 2)
+        # the hub alone outweighs the rest: first range should be just [0,1)
+        assert b[0] == 0 and b[-1] == 8
+        assert b[1] == 1
+
+    def test_more_ranges_than_vertices_clamps(self):
+        b = degree_balanced_ranges(np.ones(3, dtype=int), 10)
+        assert b[0] == 0 and b[-1] == 3
+        assert (np.diff(b) >= 0).all()
+
+    def test_zero_degree_tail(self):
+        deg = np.array([5, 5, 0, 0])
+        b = degree_balanced_ranges(deg, 2)
+        assert b[0] == 0 and b[-1] == 4
+        assert (np.diff(b) >= 0).all()
+
+    def test_empty_degrees(self):
+        b = degree_balanced_ranges(np.empty(0, dtype=int), 3)
+        assert b[-1] == 0
+
+    def test_invalid_num_ranges(self):
+        with pytest.raises(ValueError):
+            degree_balanced_ranges(np.ones(4, dtype=int), 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        degrees=st.lists(st.integers(0, 40), min_size=1, max_size=60),
+        k=st.integers(1, 8),
+    )
+    def test_bounds_invariants(self, degrees, k):
+        deg = np.array(degrees, dtype=np.int64)
+        b = degree_balanced_ranges(deg, k)
+        assert b[0] == 0
+        assert b[-1] == deg.size
+        assert (np.diff(b) >= 0).all()
+
+
+class TestEdgeSetMatrix:
+    def test_blocks_cover_all_edges(self, small_rmat):
+        n = small_rmat.num_vertices
+        m = _matrix_from_edges(
+            list(zip(small_rmat.src.tolist(), small_rmat.dst.tolist())), n, 4, 4
+        )
+        assert m.nnz == small_rmat.num_edges
+
+    def test_block_membership_respects_ranges(self):
+        pairs = [(0, 0), (0, 3), (3, 0), (3, 3)]
+        m = _matrix_from_edges(pairs, 4, 2, 2)
+        for b in m.blocks:
+            src, dst = b.edges()
+            assert ((src >= b.row_lo) & (src < b.row_hi)).all()
+            assert ((dst >= b.col_lo) & (dst < b.col_hi)).all()
+
+    def test_edges_roundtrip(self, small_rmat):
+        n = small_rmat.num_vertices
+        pairs = list(zip(small_rmat.src.tolist(), small_rmat.dst.tolist()))
+        m = _matrix_from_edges(pairs, n, 3, 5)
+        rebuilt = []
+        for b in m.blocks:
+            s, d = b.edges()
+            rebuilt.extend(zip(s.tolist(), d.tolist()))
+        assert sorted(rebuilt) == sorted(pairs)
+
+    def test_weights_preserved(self):
+        pairs = [(0, 1), (1, 0), (1, 1)]
+        m = _matrix_from_edges(pairs, 2, 1, 1, weights=[1.0, 2.0, 3.0])
+        blk = m.blocks[0]
+        assert blk.csr.weights is not None
+        assert sorted(blk.csr.weights.tolist()) == [1.0, 2.0, 3.0]
+
+    def test_row_major_ordering(self, small_rmat):
+        n = small_rmat.num_vertices
+        pairs = list(zip(small_rmat.src.tolist(), small_rmat.dst.tolist()))
+        m = _matrix_from_edges(pairs, n, 4, 4)
+        ordered = m.row_major_blocks()
+        keys = [(b.row_lo, b.col_lo) for b in ordered]
+        assert keys == sorted(keys)
+
+    def test_blocks_for_rows(self):
+        pairs = [(0, 0), (3, 3)]
+        m = _matrix_from_edges(pairs, 4, 2, 2)
+        first_rows = m.blocks_for_rows(0, 1)
+        assert all(b.row_lo < 1 for b in first_rows)
+        assert sum(b.nnz for b in first_rows) == 1
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeSetMatrix(
+                np.array([0]), np.array([0]), 2, 2,
+                row_bounds=np.array([0, 1]),  # doesn't span [0, 2]
+                col_bounds=np.array([0, 2]),
+            )
+
+    def test_empty_matrix(self):
+        m = EdgeSetMatrix(
+            np.empty(0, int), np.empty(0, int), 4, 4,
+            row_bounds=np.array([0, 2, 4]), col_bounds=np.array([0, 4]),
+        )
+        assert m.nnz == 0
+        assert m.blocks == []
+
+
+class TestConsolidation:
+    def test_consolidate_preserves_edges(self, small_rmat):
+        n = small_rmat.num_vertices
+        pairs = list(zip(small_rmat.src.tolist(), small_rmat.dst.tolist()))
+        m = _matrix_from_edges(pairs, n, 8, 8)
+        c = m.consolidate(min_edges=100)
+        assert c.nnz == m.nnz
+
+    def test_consolidate_reduces_block_count(self, small_rmat):
+        n = small_rmat.num_vertices
+        pairs = list(zip(small_rmat.src.tolist(), small_rmat.dst.tolist()))
+        m = _matrix_from_edges(pairs, n, 8, 8)
+        c = m.consolidate(min_edges=m.nnz)  # forces a single stripe each way
+        assert len(c.blocks) <= len(m.blocks)
+        assert len(c.blocks) == 1
+
+    def test_consolidate_respects_min_edges_per_stripe(self, small_rmat):
+        n = small_rmat.num_vertices
+        pairs = list(zip(small_rmat.src.tolist(), small_rmat.dst.tolist()))
+        m = _matrix_from_edges(pairs, n, 8, 8)
+        c = m.consolidate(min_edges=50)
+        # every column stripe except possibly the last has >= 50 edges
+        stripe_counts = {}
+        for b in c.blocks:
+            stripe_counts[b.col_lo] = stripe_counts.get(b.col_lo, 0) + b.nnz
+        counts = [stripe_counts[k] for k in sorted(stripe_counts)]
+        assert all(cnt >= 50 for cnt in counts[:-1])
+
+    def test_consolidate_noop_when_blocks_large(self):
+        pairs = [(i % 4, (i * 7) % 4) for i in range(64)]
+        m = _matrix_from_edges(pairs, 4, 1, 1)
+        c = m.consolidate(min_edges=1)
+        assert len(c.blocks) == len(m.blocks) == 1

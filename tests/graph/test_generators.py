@@ -1,0 +1,127 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    erdos_renyi,
+    graph500_kronecker,
+    grid_graph,
+    path_graph,
+    rmat_edges,
+    star_graph,
+    watts_strogatz,
+)
+
+
+class TestRMAT:
+    def test_sizes(self):
+        el = rmat_edges(6, 500, seed=0)
+        assert el.num_vertices == 64
+        assert el.num_edges == 500
+
+    def test_deterministic_under_seed(self):
+        a = rmat_edges(6, 300, seed=9)
+        b = rmat_edges(6, 300, seed=9)
+        assert (a.src == b.src).all() and (a.dst == b.dst).all()
+
+    def test_different_seeds_differ(self):
+        a = rmat_edges(6, 300, seed=1)
+        b = rmat_edges(6, 300, seed=2)
+        assert not ((a.src == b.src).all() and (a.dst == b.dst).all())
+
+    def test_degree_distribution_is_skewed(self):
+        el = rmat_edges(10, 10_000, seed=4)
+        deg = el.out_degrees()
+        # R-MAT with Graph500 probs produces heavy hubs: max >> mean
+        assert deg.max() > 10 * deg.mean()
+
+    def test_scale_zero(self):
+        el = rmat_edges(0, 10, seed=0)
+        assert el.num_vertices == 1
+        assert (el.src == 0).all() and (el.dst == 0).all()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(-1, 10)
+        with pytest.raises(ValueError):
+            rmat_edges(40, 10)
+
+    def test_invalid_probs(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_noise_keeps_sizes(self):
+        el = rmat_edges(7, 1000, seed=3, noise=0.1)
+        assert el.num_vertices == 128
+        assert el.num_edges == 1000
+
+
+class TestGraph500:
+    def test_edgefactor(self):
+        el = graph500_kronecker(7, edgefactor=8, seed=0)
+        assert el.num_vertices == 128
+        assert el.num_edges == 1024
+
+    def test_permutation_hides_id_degree_correlation(self):
+        """Raw R-MAT concentrates hubs at low ids; Graph500 permutes them."""
+        raw = rmat_edges(10, 16000, seed=5)
+        perm = graph500_kronecker(10, edgefactor=16000 / 1024, seed=5)
+        def low_id_mass(el):
+            deg = el.out_degrees()
+            return deg[: el.num_vertices // 8].sum() / max(deg.sum(), 1)
+        assert low_id_mass(raw) > low_id_mass(perm)
+
+
+class TestClassicGenerators:
+    def test_erdos_renyi_sizes(self):
+        el = erdos_renyi(100, 400, seed=0)
+        assert el.num_vertices == 100
+        assert el.num_edges == 400
+
+    def test_watts_strogatz_symmetric(self):
+        el = watts_strogatz(50, 3, 0.2, seed=1)
+        pairs = set(zip(el.src.tolist(), el.dst.tolist()))
+        assert all((b, a) in pairs for (a, b) in pairs)
+
+    def test_watts_strogatz_no_self_loops(self):
+        el = watts_strogatz(50, 3, 0.5, seed=2)
+        assert (el.src != el.dst).all()
+
+    def test_watts_strogatz_zero_rewire_is_lattice(self):
+        el = watts_strogatz(10, 2, 0.0, seed=0)
+        # ring lattice with k=2 symmetrised: each vertex has degree 4
+        assert (el.out_degrees() == 4).all()
+
+    def test_watts_strogatz_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 0, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 10, 0.1)
+
+    def test_star(self):
+        el = star_graph(5)
+        assert el.num_vertices == 6
+        assert el.out_degrees()[0] == 5
+        assert (el.out_degrees()[1:] == 1).all()
+
+    def test_path_directed(self):
+        el = path_graph(5, directed=True)
+        assert el.num_edges == 4
+        assert el.out_degrees()[-1] == 0
+
+    def test_path_undirected(self):
+        el = path_graph(5)
+        assert el.num_edges == 8
+
+    def test_grid_degree_sum(self):
+        el = grid_graph(3, 4)
+        # 2 * (#horizontal + #vertical) directed edges
+        assert el.num_edges == 2 * (3 * 3 + 2 * 4)
+        assert el.num_vertices == 12
+
+    def test_complete(self):
+        el = complete_graph(5)
+        assert el.num_edges == 20
+        assert (el.out_degrees() == 4).all()

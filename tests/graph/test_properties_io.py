@@ -1,0 +1,132 @@
+"""Tests for vertex property stores (§3.3 memory optimisation) and graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DenseVertexValues, EdgeList, LevelLimitedValues
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+
+
+class TestDenseVertexValues:
+    def test_set_and_get(self):
+        store = DenseVertexValues(10, 2)
+        store.set_level(0, np.array([3, 4]), 1.0)
+        assert store.get(0, 3) == 1.0
+        assert store.get(0, 5) == -1.0
+        assert store.get(1, 3) == -1.0
+
+    def test_nbytes_scales_with_queries(self):
+        a = DenseVertexValues(100, 1)
+        b = DenseVertexValues(100, 10)
+        assert b.nbytes() == 10 * a.nbytes()
+
+
+class TestLevelLimitedValues:
+    def test_keeps_two_levels(self):
+        store = LevelLimitedValues(1)
+        for lv in range(5):
+            store.push_level(0, lv, np.array([lv]), np.array([float(lv)]))
+        assert store.available_levels(0) == [3, 4]
+
+    def test_old_level_reclaimed(self):
+        store = LevelLimitedValues(1)
+        store.push_level(0, 0, np.array([0]), np.array([0.0]))
+        store.push_level(0, 1, np.array([1]), np.array([1.0]))
+        store.push_level(0, 2, np.array([2]), np.array([2.0]))
+        with pytest.raises(KeyError):
+            store.get_level(0, 0)
+
+    def test_get_level_returns_data(self):
+        store = LevelLimitedValues(2)
+        store.push_level(1, 0, np.array([7, 8]), np.array([0.0, 0.0]))
+        verts, vals = store.get_level(1, 0)
+        assert verts.tolist() == [7, 8]
+
+    def test_out_of_order_levels_rejected(self):
+        store = LevelLimitedValues(1)
+        store.push_level(0, 2, np.array([1]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            store.push_level(0, 1, np.array([2]), np.array([2.0]))
+
+    def test_shape_mismatch_rejected(self):
+        store = LevelLimitedValues(1)
+        with pytest.raises(ValueError):
+            store.push_level(0, 0, np.array([1, 2]), np.array([1.0]))
+
+    def test_memory_stays_bounded(self):
+        """The point of §3.3: memory is O(frontier), not O(n * levels)."""
+        store = LevelLimitedValues(1)
+        frontier = np.arange(1000)
+        for lv in range(50):
+            store.push_level(0, lv, frontier, frontier.astype(float))
+        two_levels = 2 * (frontier.nbytes + frontier.astype(float).nbytes)
+        assert store.nbytes() == two_levels
+        assert store.peak_nbytes <= two_levels + frontier.nbytes * 3
+
+    def test_level_limited_beats_dense_for_deep_traversals(self):
+        n, queries = 5000, 4
+        dense = DenseVertexValues(n, queries)
+        limited = LevelLimitedValues(queries)
+        for q in range(queries):
+            for lv in range(10):
+                frontier = np.arange(lv * 10, lv * 10 + 10)
+                limited.push_level(q, lv, frontier, frontier.astype(float))
+        assert limited.peak_nbytes < dense.nbytes()
+
+    def test_queries_are_independent(self):
+        store = LevelLimitedValues(2)
+        store.push_level(0, 0, np.array([1]), np.array([1.0]))
+        store.push_level(1, 5, np.array([2]), np.array([2.0]))
+        assert store.available_levels(0) == [0]
+        assert store.available_levels(1) == [5]
+
+
+class TestIO:
+    def test_text_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(tiny_graph, path)
+        back = read_edge_list(path)
+        assert back.num_edges == tiny_graph.num_edges
+        assert back.num_vertices == tiny_graph.num_vertices
+
+    def test_text_reindexes_sparse_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        el = read_edge_list(path)
+        assert el.num_vertices == 3
+        assert el.num_edges == 2
+
+    def test_text_skips_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# SNAP header\n0 1\n1 2\n")
+        el = read_edge_list(path)
+        assert el.num_edges == 2
+
+    def test_weighted_text_roundtrip(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 1), (1, 2)], weights=[0.5, 2.0])
+        path = tmp_path / "w.txt"
+        write_edge_list(el, path)
+        back = read_edge_list(path, weighted=True)
+        assert back.is_weighted
+        assert sorted(back.weight.tolist()) == [0.5, 2.0]
+
+    def test_missing_weight_column_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, weighted=True)
+
+    def test_npz_roundtrip(self, tmp_path, small_rmat):
+        path = tmp_path / "g.npz"
+        save_npz(small_rmat, path)
+        back = load_npz(path)
+        assert (back.src == small_rmat.src).all()
+        assert (back.dst == small_rmat.dst).all()
+        assert back.num_vertices == small_rmat.num_vertices
+
+    def test_npz_weighted_roundtrip(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 1)], weights=[3.25])
+        path = tmp_path / "w.npz"
+        save_npz(el, path)
+        back = load_npz(path)
+        assert back.weight.tolist() == [3.25]

@@ -1,0 +1,138 @@
+"""Unit tests for the network cost model and virtual clock."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
+
+
+class TestStepStats:
+    def test_record_send_accumulates(self):
+        s = StepStats()
+        s.record_send(1, 100, 10)
+        s.record_send(1, 50, 5)
+        s.record_send(2, 7, 1)
+        assert s.bytes_sent == {1: 150, 2: 7}
+        assert s.messages_sent == {1: 15, 2: 1}
+        assert s.total_bytes == 157
+        assert s.total_messages == 16
+
+    def test_merge(self):
+        a = StepStats(edges_scanned=10, vertices_updated=3)
+        a.record_send(0, 8, 1)
+        b = StepStats(edges_scanned=5)
+        b.record_send(0, 8, 1)
+        b.record_send(1, 4, 2)
+        a.merge(b)
+        assert a.edges_scanned == 15
+        assert a.vertices_updated == 3
+        assert a.bytes_sent == {0: 16, 1: 4}
+
+
+class TestNetworkModel:
+    def test_compute_scales_with_edges(self):
+        nm = NetworkModel()
+        t1 = nm.compute_seconds(StepStats(edges_scanned=1000))
+        t2 = nm.compute_seconds(StepStats(edges_scanned=2000))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_vertex_cost_counts(self):
+        nm = NetworkModel()
+        base = nm.compute_seconds(StepStats())
+        with_v = nm.compute_seconds(StepStats(vertices_updated=100))
+        assert with_v > base == 0.0
+
+    def test_comm_includes_latency_per_destination(self):
+        nm = NetworkModel(latency_seconds=1.0, bandwidth_bytes_per_second=1e12)
+        s = StepStats()
+        s.record_send(1, 8, 1)
+        s.record_send(2, 8, 1)
+        assert nm.comm_seconds(s) == pytest.approx(2.0, rel=1e-6)
+
+    def test_comm_includes_bytes_over_bandwidth(self):
+        nm = NetworkModel(latency_seconds=0.0, bandwidth_bytes_per_second=100.0)
+        s = StepStats()
+        s.record_send(1, 250, 1)
+        assert nm.comm_seconds(s) == pytest.approx(2.5)
+
+    def test_sync_superstep_is_max_plus_max_plus_barrier(self):
+        nm = NetworkModel(
+            seconds_per_edge=1.0,
+            seconds_per_vertex=0.0,
+            latency_seconds=1.0,
+            bandwidth_bytes_per_second=1e18,
+            barrier_seconds=0.5,
+            cores_per_machine=1,
+            parallel_efficiency=1.0,
+        )
+        fast = StepStats(edges_scanned=1)
+        slow = StepStats(edges_scanned=10)
+        slow.record_send(0, 1, 1)
+        total = nm.superstep_seconds([fast, slow])
+        assert total == pytest.approx(10 + 1 + 0.5)
+
+    def test_single_machine_pays_no_barrier(self):
+        nm = NetworkModel(barrier_seconds=123.0, cores_per_machine=1,
+                          parallel_efficiency=1.0, seconds_per_edge=1.0)
+        t = nm.superstep_seconds([StepStats(edges_scanned=1)])
+        assert t == pytest.approx(1.0)
+
+    def test_async_overlaps_compute_and_comm(self):
+        nm = NetworkModel(
+            seconds_per_edge=1.0,
+            latency_seconds=4.0,
+            bandwidth_bytes_per_second=1e18,
+            barrier_seconds=10.0,
+            cores_per_machine=1,
+            parallel_efficiency=1.0,
+            async_overlap=True,
+        )
+        s = StepStats(edges_scanned=3)
+        s.record_send(1, 1, 1)
+        # async: max(compute=3, comm=4) = 4; no barrier
+        assert nm.superstep_seconds([s]) == pytest.approx(4.0)
+
+    def test_with_async_returns_copy(self):
+        nm = NetworkModel()
+        a = nm.with_async()
+        assert a.async_overlap and not nm.async_overlap
+
+    def test_empty_cluster(self):
+        assert NetworkModel().superstep_seconds([]) == 0.0
+
+    def test_more_machines_never_slower_on_compute_only(self):
+        """With zero comm, splitting work across machines can't hurt."""
+        nm = NetworkModel(barrier_seconds=0.0)
+        whole = nm.superstep_seconds([StepStats(edges_scanned=1000)])
+        halves = nm.superstep_seconds(
+            [StepStats(edges_scanned=500), StepStats(edges_scanned=500)]
+        )
+        assert halves <= whole
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        edges=st.lists(st.integers(0, 10**7), min_size=1, max_size=9),
+    )
+    def test_superstep_time_nonnegative_and_monotone(self, edges):
+        nm = NetworkModel()
+        stats = [StepStats(edges_scanned=e) for e in edges]
+        t = nm.superstep_seconds(stats)
+        assert t >= 0
+        stats[0].edges_scanned += 1_000_000
+        assert nm.superstep_seconds(stats) >= t
+
+
+class TestVirtualClock:
+    def test_advance_accumulates(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == pytest.approx(2.0)
+        assert c.per_step == [1.5, 0.5]
+        assert c.num_steps == 2
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)

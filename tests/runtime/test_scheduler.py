@@ -1,0 +1,110 @@
+"""Tests for concurrent-query scheduling / response-time simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.scheduler import (
+    QueryScheduler,
+    batch_response_times,
+    simulate_fifo_pool,
+    simulate_serialized,
+)
+
+
+class TestFifoPool:
+    def test_single_server_is_cumulative(self):
+        r = simulate_fifo_pool([1.0, 2.0, 3.0], 1)
+        assert r.tolist() == [1.0, 3.0, 6.0]
+
+    def test_enough_servers_no_queueing(self):
+        r = simulate_fifo_pool([5.0, 4.0, 3.0], 3)
+        assert r.tolist() == [5.0, 4.0, 3.0]
+
+    def test_two_servers(self):
+        r = simulate_fifo_pool([4.0, 1.0, 1.0, 1.0], 2)
+        # server A: q0 (0-4); server B: q1 (0-1), q2 (1-2), q3 (2-3)
+        assert r.tolist() == [4.0, 1.0, 2.0, 3.0]
+
+    def test_arrival_times_respected(self):
+        r = simulate_fifo_pool([1.0, 1.0], 1, arrival_times=[0.0, 10.0])
+        assert r.tolist() == [1.0, 1.0]  # second arrives after first finished
+
+    def test_arrival_order_not_index_order(self):
+        r = simulate_fifo_pool([1.0, 1.0], 1, arrival_times=[5.0, 0.0])
+        # query 1 (arrives first) runs 0-1; query 0 runs 5-6
+        assert r.tolist() == [1.0, 1.0]
+
+    def test_zero_service_times(self):
+        r = simulate_fifo_pool([0.0, 0.0], 1)
+        assert r.tolist() == [0.0, 0.0]
+
+    def test_invalid_concurrency(self):
+        with pytest.raises(ValueError):
+            simulate_fifo_pool([1.0], 0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fifo_pool([-1.0], 1)
+
+    def test_mismatched_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_fifo_pool([1.0, 2.0], 1, arrival_times=[0.0])
+
+    def test_serialized_is_width_one_pool(self):
+        service = [0.5, 1.5, 0.25]
+        assert (
+            simulate_serialized(service).tolist()
+            == simulate_fifo_pool(service, 1).tolist()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        service=st.lists(st.floats(0, 10), min_size=1, max_size=40),
+        c=st.integers(1, 8),
+    )
+    def test_pool_invariants(self, service, c):
+        r = simulate_fifo_pool(service, c)
+        service = np.asarray(service)
+        # response >= own service time
+        assert (r >= service - 1e-12).all()
+        # wider pools never hurt
+        r_wider = simulate_fifo_pool(service, c + 1)
+        assert (r_wider <= r + 1e-9).all()
+        # total completion conserved: sum of service <= c * makespan
+        makespan = r.max()
+        assert service.sum() <= c * makespan + 1e-9
+
+
+class TestBatchResponseTimes:
+    def test_offsets_added_to_batch_start(self):
+        r = batch_response_times(
+            [0.0, 10.0],
+            np.array([0, 0, 1]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+        assert r.tolist() == [1.0, 2.0, 13.0]
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            batch_response_times([0.0], np.array([0, 0]), np.array([1.0]))
+
+    def test_batch_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            batch_response_times([0.0], np.array([1]), np.array([1.0]))
+
+
+class TestQueryScheduler:
+    def test_concurrency_scales_with_machines(self):
+        assert QueryScheduler(num_machines=3, slots_per_machine=4).concurrency == 12
+
+    def test_pool_uses_concurrency(self):
+        sched = QueryScheduler(num_machines=1, slots_per_machine=2)
+        r = sched.pool([1.0, 1.0, 1.0, 1.0])
+        assert sorted(r.tolist()) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_serialized_ignores_slots(self):
+        sched = QueryScheduler(num_machines=9)
+        r = sched.serialized([1.0, 1.0])
+        assert r.tolist() == [1.0, 2.0]

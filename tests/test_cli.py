@@ -1,0 +1,130 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.graph.datasets import clear_cache
+
+SCALE = ["--scale", "0.03"]
+
+
+@pytest.fixture(autouse=True)
+def _clear():
+    yield
+    clear_cache()
+
+
+def run_cli(*argv) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_every_experiment_alias_resolves(self):
+        from repro.bench import experiments
+
+        for alias, fn in EXPERIMENTS.items():
+            assert hasattr(experiments, fn), alias
+
+
+class TestCommands:
+    def test_datasets(self):
+        out = run_cli("datasets")
+        assert "OR-100M" in out
+        assert "FRS-100B" in out
+
+    def test_khop(self):
+        out = run_cli("khop", "--queries", "4", "--k", "2", *SCALE)
+        assert "4 concurrent 2-hop queries" in out
+        assert "total virtual time" in out
+
+    def test_khop_with_edge_sets(self):
+        out = run_cli("khop", "--queries", "2", "--edge-sets", *SCALE)
+        assert "reached" in out
+
+    def test_reach(self):
+        out = run_cli("reach", "--pairs", "3", "--k", "3", *SCALE)
+        assert out.count("->") == 3
+
+    def test_pagerank(self):
+        out = run_cli("pagerank", "--iterations", "3", "--top", "2", *SCALE)
+        assert "3 iterations (sync)" in out
+        assert out.count("rank") >= 2
+
+    def test_pagerank_async(self):
+        out = run_cli("pagerank", "--iterations", "2", "--async", *SCALE)
+        assert "(async)" in out
+
+    def test_sssp(self):
+        out = run_cli("sssp", "--max-hops", "2", *SCALE)
+        assert "reachable:" in out
+
+    def test_kcore(self):
+        out = run_cli("kcore", *SCALE)
+        assert "degeneracy" in out
+
+    def test_hopplot(self):
+        out = run_cli("hopplot", "--dataset", "SLASHDOT-ZOO", "--sources", "20",
+                      *SCALE)
+        assert "delta_0.5" in out
+
+    def test_experiment_table1(self):
+        out = run_cli("experiment", "table1", *SCALE)
+        assert "Table 1" in out
+
+    def test_experiment_fig1(self):
+        out = run_cli("experiment", "fig1", "--scale", "0.05")
+        assert "Figure 1" in out
+
+
+class TestNewCommands:
+    def test_path_found(self):
+        out = run_cli("path", "--source", "0", "--target", "1", *SCALE)
+        assert "->" in out or "not reachable" in out
+
+    def test_path_unreachable_message(self):
+        # target an isolated-ish vertex with k=0-like budget
+        out = run_cli("path", "--source", "0", "--target", "1", "--k", "0",
+                      *SCALE)
+        assert "not reachable" in out
+
+    def test_centrality_closeness(self):
+        out = run_cli("centrality", "--roots", "10", "--top", "3", *SCALE)
+        assert "closeness centrality" in out
+        assert out.count("vertex") == 3
+
+    def test_centrality_harmonic(self):
+        out = run_cli("centrality", "--kind", "harmonic", "--roots", "5", *SCALE)
+        assert "harmonic centrality" in out
+
+    def test_experiment_export_csv(self, tmp_path):
+        target = tmp_path / "rows.csv"
+        out = run_cli("experiment", "table1", "--scale", "0.03",
+                      "--export", str(target))
+        assert "rows written" in out
+        assert target.read_text().startswith("name,")
+
+    def test_experiment_export_json(self, tmp_path):
+        import json
+
+        target = tmp_path / "rows.json"
+        run_cli("experiment", "fig1", "--scale", "0.05",
+                "--export", str(target))
+        rows = json.loads(target.read_text())
+        assert rows[0]["distance"] == 0

