@@ -5,7 +5,6 @@ back within 1 s while Titan takes up to 70 s, and far lower variance.
 Wall-clock measured on both systems (single machine, OR-100M analog).
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.bench import experiments as E

@@ -8,6 +8,10 @@ Public entry points:
 
 * :class:`repro.CGraph` -- build once, then serve concurrent k-hop/BFS
   queries, PageRank, SSSP and triangle analytics.
+* :class:`repro.GraphSession` / :class:`repro.QueryService` -- the
+  persistent service runtime: one resident partitioned graph serving many
+  query batches, with an online admission loop producing per-query
+  response times.
 * :mod:`repro.graph` -- graph substrate (formats, partitioning, generators,
   datasets, analysis).
 * :mod:`repro.runtime` -- the simulated distributed runtime and its cost
@@ -30,11 +34,15 @@ from repro.core import (
     triangle_count,
 )
 from repro.runtime.netmodel import NetworkModel
+from repro.runtime.scheduler import QueryService
+from repro.runtime.session import GraphSession
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CGraph",
+    "GraphSession",
+    "QueryService",
     "concurrent_khop",
     "concurrent_bfs",
     "run_query_stream",

@@ -35,11 +35,12 @@ from repro.bench.workload import QueryWorkload, random_sources
 from repro.core.batch import run_query_stream
 from repro.core.khop import concurrent_khop
 from repro.core.pagerank import pagerank
-from repro.graph.analysis import degree_statistics, effective_diameter, hop_plot
+from repro.graph.analysis import effective_diameter, hop_plot
 from repro.graph.datasets import DATASETS, dataset_table, load_dataset, runtime_scale
 from repro.graph.partition import PartitionedGraph, range_partition
 from repro.runtime.netmodel import NetworkModel
-from repro.runtime.scheduler import QueryScheduler
+from repro.runtime.scheduler import QueryScheduler, QueryService
+from repro.runtime.session import GraphSession
 
 __all__ = [
     "calibrated_netmodel",
@@ -61,6 +62,7 @@ __all__ = [
     "ablation_out_of_core",
     "ablation_wide_batches",
     "per_query_service_seconds",
+    "session_reuse",
 ]
 
 PAPER_BINS = np.arange(0.0, 2.2, 0.2)  # the Fig 11/12 histogram bins (seconds)
@@ -105,21 +107,25 @@ def per_query_service_seconds(
     k: int | None,
     netmodel: NetworkModel | None = None,
     use_edge_sets: bool = False,
+    session: GraphSession | None = None,
 ) -> np.ndarray:
     """Virtual service time of each query run standalone (§3.3 individual mode).
 
     Repeated roots are costed once (service time is a deterministic function
     of the root), which lets the large-query-count experiments sample roots
-    from a pool without re-running identical traversals.
+    from a pool without re-running identical traversals.  All standalone
+    runs execute on one :class:`GraphSession` (a transient one unless
+    ``session`` is passed), so the per-root memo persists with the session.
     """
+    sess = GraphSession.for_run(pg, netmodel=netmodel, session=session)
     roots = np.asarray(roots)
     unique, inverse = np.unique(roots, return_inverse=True)
-    per_unique = np.empty(unique.size)
-    for i, s in enumerate(unique):
-        res = concurrent_khop(
-            pg, [int(s)], k, netmodel=netmodel, use_edge_sets=use_edge_sets
-        )
-        per_unique[i] = res.virtual_seconds
+    per_unique = np.array(
+        [
+            sess.khop_service_seconds(int(s), k, use_edge_sets=use_edge_sets)
+            for s in unique
+        ]
+    )
     return per_unique[inverse]
 
 
@@ -315,6 +321,9 @@ class Fig8bResult:
     cgraph: dict
     gemini: dict
     mean_ratio: float
+    #: max |online - offline| response time: the QueryService admission loop
+    #: cross-checked against the simulate_fifo_pool model on the same workload
+    offline_max_abs_diff: float = 0.0
     paper = {"gemini_mean_s": 4.25, "cgraph_mean_s": 0.3}
 
     def report(self) -> str:
@@ -335,21 +344,33 @@ def fig8b_distribution_vs_gemini(
     scale: float | None = None,
     seed: int = 1,
 ) -> Fig8bResult:
-    """Reproduce Figure 8b: serialized Gemini vs pooled C-Graph (virtual)."""
+    """Reproduce Figure 8b: serialized Gemini vs pooled C-Graph (virtual).
+
+    C-Graph's side runs on the online :class:`QueryService` admission loop
+    over a persistent session; the offline :func:`simulate_fifo_pool` model
+    re-costs the identical workload as a cross-check (the max deviation is
+    reported on the result).
+    """
     el = load_dataset("FR-1B", scale)
     nm = calibrated_netmodel("FR-1B", scale)
-    pg = range_partition(el, num_machines)
+    sess = GraphSession(el, num_machines=num_machines, netmodel=nm)
     roots = random_sources(el, num_queries, seed=seed)
-    service = per_query_service_seconds(pg, roots, k, netmodel=nm)
 
     sched = QueryScheduler(num_machines=num_machines)
-    cg = ResponseTimes("C-Graph", sched.pool(service))
-    gemini_engine = GeminiLikeEngine(pg, netmodel=nm)
+    svc = QueryService(sess, k, discipline="pool", concurrency=sched.concurrency)
+    svc.submit_many(roots)
+    online = svc.drain().response_seconds
+    service = per_query_service_seconds(sess.pg, roots, k, session=sess)
+    offline = sched.pool(service)
+
+    cg = ResponseTimes("C-Graph", online)
+    gemini_engine = GeminiLikeEngine(sess.pg, netmodel=nm)
     ge = ResponseTimes("Gemini", gemini_engine.serialized_response_times(roots, k))
     return Fig8bResult(
         cgraph=cg.summary(),
         gemini=ge.summary(),
         mean_ratio=ge.mean / max(cg.mean, 1e-12),
+        offline_max_abs_diff=float(np.abs(online - offline).max()),
     )
 
 
@@ -407,9 +428,9 @@ def fig9_data_size_scalability(
     for name in datasets:
         el = load_dataset(name, scale)
         nm = calibrated_netmodel(name, scale)
-        pg = range_partition(el, num_machines)
+        sess = GraphSession(el, num_machines=num_machines, netmodel=nm)
         roots = pooled_sources(el, num_queries, distinct_roots, seed)
-        service = per_query_service_seconds(pg, roots, k, netmodel=nm)
+        service = per_query_service_seconds(sess.pg, roots, k, session=sess)
         per_dataset[name] = ResponseTimes(name, sched.pool(service))
         avg_deg[name] = float(el.out_degrees()[roots].mean())
     return Fig9Result(per_dataset=per_dataset, avg_root_degree=avg_deg)
@@ -470,6 +491,9 @@ class Fig11Result:
     per_machines: dict[int, ResponseTimes]
     boundary_vertices: dict[int, int]
     bins: np.ndarray
+    #: max |online - offline| across all machine counts (QueryService vs
+    #: simulate_fifo_pool on the identical workload)
+    offline_max_abs_diff: float = 0.0
     paper = {"pct_within_0.2s": 80.0, "pct_within_1s": 90.0}
 
     def report(self) -> str:
@@ -498,20 +522,32 @@ def fig11_machine_scaling(
     scale: float | None = None,
     seed: int = 3,
 ) -> Fig11Result:
-    """Reproduce Figure 11: response-time histograms vs machine count."""
+    """Reproduce Figure 11: response-time histograms vs machine count.
+
+    Each machine count gets its own resident session; its workload runs on
+    the online :class:`QueryService` pool and is cross-checked against the
+    offline :func:`simulate_fifo_pool` model.
+    """
     el = load_dataset("FR-1B", scale)
     nm = calibrated_netmodel("FR-1B", scale)
     roots = random_sources(el, num_queries, seed=seed)
     per_machines: dict[int, ResponseTimes] = {}
     boundary: dict[int, int] = {}
+    max_diff = 0.0
     for p in machines:
-        pg = range_partition(el, p)
-        service = per_query_service_seconds(pg, roots, k, netmodel=nm)
+        sess = GraphSession(el, num_machines=p, netmodel=nm)
         sched = QueryScheduler(num_machines=p)
-        per_machines[p] = ResponseTimes(f"{p} machines", sched.pool(service))
-        boundary[p] = pg.total_boundary_vertices()
+        svc = QueryService(sess, k, discipline="pool", concurrency=sched.concurrency)
+        svc.submit_many(roots)
+        online = svc.drain().response_seconds
+        service = per_query_service_seconds(sess.pg, roots, k, session=sess)
+        offline = sched.pool(service)
+        max_diff = max(max_diff, float(np.abs(online - offline).max()))
+        per_machines[p] = ResponseTimes(f"{p} machines", online)
+        boundary[p] = sess.pg.total_boundary_vertices()
     return Fig11Result(
-        per_machines=per_machines, boundary_vertices=boundary, bins=PAPER_BINS
+        per_machines=per_machines, boundary_vertices=boundary, bins=PAPER_BINS,
+        offline_max_abs_diff=max_diff,
     )
 
 
@@ -524,6 +560,9 @@ def fig11_machine_scaling(
 class Fig12Result:
     per_count: dict[int, ResponseTimes]
     bins: np.ndarray
+    #: max |online - offline| across all query counts (QueryService vs
+    #: simulate_fifo_pool on the identical workload)
+    offline_max_abs_diff: float = 0.0
     paper = {
         "q<=100": "80% within 0.6s, 90% within 1s",
         "q=350": "40% within 1s, 60% within 2s, tail 4-7s",
@@ -579,14 +618,24 @@ def fig12_query_count_scaling(
     """
     el = load_dataset("FRS-100B", scale)
     nm = calibrated_netmodel("FRS-100B", scale)
-    pg = range_partition(el, num_machines)
+    sess = GraphSession(el, num_machines=num_machines, netmodel=nm)
     max_count = max(counts)
     roots = pooled_sources(el, max_count, distinct_roots, seed)
-    service_all = per_query_service_seconds(pg, roots, k, netmodel=nm)
+    service_all = per_query_service_seconds(sess.pg, roots, k, session=sess)
     sched = QueryScheduler(num_machines=num_machines)
-    per_count = {
-        q: ResponseTimes(f"{q} queries", sched.pool(service_all[:q])) for q in counts
-    }
+    per_count: dict[int, ResponseTimes] = {}
+    max_diff = 0.0
+    for q in counts:
+        # every count is one wave on the same resident session — the online
+        # admission loop replays the first q arrivals of the stream
+        svc = QueryService(
+            sess, k, discipline="pool", concurrency=sched.concurrency
+        )
+        svc.submit_many(roots[:q])
+        online = svc.drain().response_seconds
+        offline = sched.pool(service_all[:q])
+        max_diff = max(max_diff, float(np.abs(online - offline).max()))
+        per_count[q] = ResponseTimes(f"{q} queries", online)
     # The FRS-100B analog saturates under 3 hops (see EXPERIMENTS.md), so an
     # absolute 0-2 s histogram can be empty; rescale the paper's bin layout
     # to the observed range when needed, keeping the paper bins when they
@@ -596,7 +645,9 @@ def fig12_query_count_scaling(
         bins = PAPER_BINS
     else:
         bins = PAPER_BINS * (smallest.percentile(90) / PAPER_BINS[-2])
-    return Fig12Result(per_count=per_count, bins=bins)
+    return Fig12Result(
+        per_count=per_count, bins=bins, offline_max_abs_diff=max_diff
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -635,16 +686,19 @@ def fig13_bfs_vs_gemini(
     """Reproduce Figure 13: bit-parallel batched BFS vs serialized Gemini."""
     el = load_dataset("FR-1B", scale)
     nm = calibrated_netmodel("FR-1B", scale)
-    pg = range_partition(el, num_machines)
+    sess = GraphSession(el, num_machines=num_machines, netmodel=nm)
     max_count = max(counts)
     roots = random_sources(el, max_count, seed=seed)
-    gemini = GeminiLikeEngine(pg, netmodel=nm)
+    gemini = GeminiLikeEngine(sess.pg, netmodel=nm)
     single = np.array(
         [gemini.single_query_seconds(int(s), None) for s in roots]
     )
     cg_total, ge_total = [], []
     for q in counts:
-        stream = run_query_stream(pg, roots[:q], k=None, batch_width=64, netmodel=nm)
+        # every count's stream reuses the one resident session
+        stream = run_query_stream(
+            sess.pg, roots[:q], k=None, batch_width=64, session=sess
+        )
         cg_total.append(stream.total_seconds)
         ge_total.append(float(single[:q].sum()))
     return Fig13Result(
@@ -892,3 +946,122 @@ def ablation_wide_batches(
     ]
     assert (wide.reached == stream.reached).all()
     return AblationResult("cache-line-wide vs word-wide batches", rows)
+
+
+# --------------------------------------------------------------------------- #
+# Session reuse: the persistent-runtime payoff
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class SessionReuseResult:
+    """Wall-clock cost of N k-hop batches: one-shot calls vs one session.
+
+    ``one_shot_per_batch[i]`` rebuilds partitions, cluster and tasks for
+    batch ``i``; ``session_per_batch[i]`` reuses the resident session's
+    state (``session_build_s`` is paid once, before batch 0).  Both sides
+    return bit-identical answers — the driver asserts it.
+    """
+
+    num_batches: int
+    batch_size: int
+    k: int
+    one_shot_per_batch: list[float]
+    session_per_batch: list[float]
+    session_build_s: float
+
+    @property
+    def one_shot_total_s(self) -> float:
+        return float(sum(self.one_shot_per_batch))
+
+    @property
+    def session_total_s(self) -> float:
+        return self.session_build_s + float(sum(self.session_per_batch))
+
+    @property
+    def speedup(self) -> float:
+        return self.one_shot_total_s / max(self.session_total_s, 1e-12)
+
+    @property
+    def rows(self) -> list[dict]:
+        rows = [
+            {
+                "batch": str(i),
+                "one_shot_wall_s": round(self.one_shot_per_batch[i], 6),
+                "session_wall_s": round(self.session_per_batch[i], 6),
+            }
+            for i in range(self.num_batches)
+        ]
+        rows.append(
+            {
+                "batch": "total (incl. one-time session build)",
+                "one_shot_wall_s": round(self.one_shot_total_s, 6),
+                "session_wall_s": round(self.session_total_s, 6),
+            }
+        )
+        return rows
+
+    def report(self) -> str:
+        table = format_table(
+            self.rows,
+            title=(
+                f"Session reuse: {self.num_batches} x {self.batch_size}-query "
+                f"{self.k}-hop batches"
+            ),
+        )
+        return (
+            f"{table}\n"
+            f"session build (once): {self.session_build_s:.4f} s\n"
+            f"speedup from session reuse: {self.speedup:.2f}x"
+        )
+
+
+def session_reuse(
+    dataset: str = "OR-100M",
+    num_batches: int = 8,
+    batch_size: int = 64,
+    k: int = 3,
+    num_machines: int = 3,
+    scale: float | None = None,
+    seed: int = 12,
+) -> SessionReuseResult:
+    """Serve ``num_batches`` back-to-back k-hop batches both ways.
+
+    The one-shot side is what every caller paid before the session layer:
+    each batch re-partitions the graph, reallocates the cluster and task
+    frontiers, then runs.  The session side builds once and only resets
+    buffers between batches.  Answers must match exactly.
+    """
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    batches = [
+        random_sources(el, batch_size, seed=seed + i) for i in range(num_batches)
+    ]
+
+    one_shot_times: list[float] = []
+    one_shot_reached: list[np.ndarray] = []
+    for roots in batches:
+        t0 = time.perf_counter()
+        res = concurrent_khop(el, roots, k, num_machines=num_machines, netmodel=nm)
+        one_shot_times.append(time.perf_counter() - t0)
+        one_shot_reached.append(res.reached)
+
+    t0 = time.perf_counter()
+    sess = GraphSession(el, num_machines=num_machines, netmodel=nm)
+    build = time.perf_counter() - t0
+    session_times: list[float] = []
+    for i, roots in enumerate(batches):
+        t0 = time.perf_counter()
+        res = concurrent_khop(el, roots, k, session=sess)
+        session_times.append(time.perf_counter() - t0)
+        if not np.array_equal(res.reached, one_shot_reached[i]):
+            raise AssertionError(f"session batch {i} diverged from one-shot run")
+
+    return SessionReuseResult(
+        num_batches=num_batches,
+        batch_size=batch_size,
+        k=k,
+        one_shot_per_batch=one_shot_times,
+        session_per_batch=session_times,
+        session_build_s=build,
+    )

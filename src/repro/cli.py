@@ -10,8 +10,14 @@ regenerate any evaluation figure:
    $ python -m repro khop --dataset OR-100M --queries 16 --k 3 --machines 3
    $ python -m repro reach --dataset OR-100M --pairs 8 --k 4
    $ python -m repro pagerank --dataset OR-100M --iterations 10 --machines 4
+   $ python -m repro service --dataset OR-100M --queries 100 --k 3 --rate 500
    $ python -m repro hopplot --dataset SLASHDOT-ZOO
    $ python -m repro experiment fig10 --scale 0.2
+
+Every graph subcommand builds one :class:`~repro.runtime.session.GraphSession`
+for the loaded dataset and runs all of its work on it — the partitioned
+graph and cluster are constructed once per invocation, exactly the resident
+deployment model the ``service`` subcommand then exercises online.
 """
 
 from __future__ import annotations
@@ -104,6 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--roots", type=int, default=64, help="sampled roots")
     p.add_argument("--top", type=int, default=10)
 
+    p = sub.add_parser(
+        "service",
+        help="online query service: admit arriving k-hop queries on one session",
+    )
+    add_common(p)
+    p.add_argument("--queries", type=int, default=100)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--rate", type=float, default=1000.0,
+                   help="Poisson arrival rate (queries per virtual second)")
+    p.add_argument("--discipline", choices=["batch", "pool"], default="batch")
+    p.add_argument("--batch-width", type=int, default=64)
+    p.add_argument("--edge-sets", action="store_true")
+
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
     p.add_argument("--scale", type=float, default=None)
@@ -117,6 +136,15 @@ def _load(args):
     from repro.graph.datasets import load_dataset
 
     return load_dataset(args.dataset, args.scale)
+
+
+def _session(args, el=None, edge_sets: bool = False):
+    """Build the one resident session this subcommand runs on."""
+    from repro.runtime.session import GraphSession
+
+    if el is None:
+        el = _load(args)
+    return GraphSession(el, num_machines=args.machines, edge_sets=edge_sets)
 
 
 def cmd_datasets(args, out) -> int:
@@ -133,10 +161,10 @@ def cmd_khop(args, out) -> int:
     from repro.core.batch import run_query_stream
 
     el = _load(args)
+    sess = _session(args, el, edge_sets=args.edge_sets)
     roots = random_sources(el, args.queries, seed=args.seed)
     stream = run_query_stream(
-        el, roots, args.k, num_machines=args.machines,
-        use_edge_sets=args.edge_sets,
+        sess.pg, roots, args.k, use_edge_sets=args.edge_sets, session=sess,
     )
     print(f"{args.queries} concurrent {args.k}-hop queries on {args.dataset} "
           f"({args.machines} machines, {stream.num_batches} batch(es))", file=out)
@@ -154,11 +182,11 @@ def cmd_reach(args, out) -> int:
     from repro.core.reachability import reachability_queries
 
     el = _load(args)
+    sess = _session(args, el)
     rng = np.random.default_rng(args.seed)
     sources = random_sources(el, args.pairs, seed=args.seed)
     targets = rng.integers(0, el.num_vertices, size=args.pairs)
-    res = reachability_queries(el, sources, targets, args.k,
-                               num_machines=args.machines)
+    res = reachability_queries(sess.pg, sources, targets, args.k, session=sess)
     print(f"{args.pairs} reachability pairs within {args.k} hops on "
           f"{args.dataset}:", file=out)
     for q in range(res.num_queries):
@@ -172,9 +200,9 @@ def cmd_reach(args, out) -> int:
 def cmd_pagerank(args, out) -> int:
     from repro.core.pagerank import pagerank
 
-    el = _load(args)
-    run = pagerank(el, iterations=args.iterations, num_machines=args.machines,
-                   asynchronous=args.asynchronous)
+    sess = _session(args)
+    run = pagerank(sess.pg, iterations=args.iterations,
+                   asynchronous=args.asynchronous, session=sess)
     mode = "async" if args.asynchronous else "sync"
     print(f"PageRank on {args.dataset}: {run.iterations} iterations ({mode}), "
           f"virtual time {run.virtual_seconds * 1e3:.2f} ms", file=out)
@@ -188,8 +216,8 @@ def cmd_sssp(args, out) -> int:
     from repro.core.sssp import sssp
 
     el = _load(args).with_unit_weights()
-    res = sssp(el, args.source, max_hops=args.max_hops,
-               num_machines=args.machines)
+    sess = _session(args, el)
+    res = sssp(sess.pg, args.source, max_hops=args.max_hops, session=sess)
     finite = np.isfinite(res.distances)
     print(f"SSSP from {args.source} on {args.dataset} "
           f"(max_hops={args.max_hops}):", file=out)
@@ -204,8 +232,8 @@ def cmd_sssp(args, out) -> int:
 def cmd_kcore(args, out) -> int:
     from repro.core.kcore import core_numbers
 
-    el = _load(args)
-    res = core_numbers(el, num_machines=args.machines)
+    sess = _session(args)
+    res = core_numbers(sess.pg, num_machines=args.machines, session=sess)
     print(f"k-core decomposition of {args.dataset} "
           f"({res.rounds} rounds):", file=out)
     values, counts = np.unique(res.core, return_counts=True)
@@ -233,9 +261,9 @@ def cmd_hopplot(args, out) -> int:
 def cmd_path(args, out) -> int:
     from repro.core.traversal import shortest_hop_path
 
-    el = _load(args)
-    path = shortest_hop_path(el, args.source, args.target, k=args.k,
-                             num_machines=args.machines)
+    sess = _session(args)
+    path = shortest_hop_path(sess.pg, args.source, args.target, k=args.k,
+                             session=sess)
     if path is None:
         budget = "" if args.k is None else f" within {args.k} hops"
         print(f"{args.target} is not reachable from {args.source}{budget}",
@@ -251,14 +279,49 @@ def cmd_centrality(args, out) -> int:
     from repro.core.centrality import closeness_centrality, harmonic_centrality
 
     el = _load(args)
+    sess = _session(args, el)
     roots = random_sources(el, min(args.roots, el.num_vertices), seed=args.seed)
     fn = closeness_centrality if args.kind == "closeness" else harmonic_centrality
-    res = fn(el, roots=roots, num_machines=args.machines)
+    res = fn(sess.pg, roots=roots, session=sess)
     print(f"{args.kind} centrality over {roots.size} sampled roots "
           f"({res.total_edges_scanned:,} edges scanned in shared batches):",
           file=out)
     for v, score in res.top(args.top):
         print(f"  vertex {v:8d}: {score:10.4f}", file=out)
+    return 0
+
+
+def cmd_service(args, out) -> int:
+    from repro.bench.workload import random_sources
+    from repro.runtime.scheduler import QueryService
+
+    if args.queries < 1:
+        raise SystemExit("repro service: --queries must be >= 1")
+    if args.rate <= 0:
+        raise SystemExit("repro service: --rate must be > 0")
+    if not 1 <= args.batch_width <= 64:
+        raise SystemExit("repro service: --batch-width must be in [1, 64]")
+    el = _load(args)
+    sess = _session(args, el, edge_sets=args.edge_sets)
+    svc = QueryService(
+        sess, args.k, discipline=args.discipline,
+        batch_width=args.batch_width, use_edge_sets=args.edge_sets,
+    )
+    roots = random_sources(el, args.queries, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / args.rate, size=args.queries))
+    svc.submit_many(roots, arrivals)
+    rep = svc.drain()
+    resp = rep.response_seconds * 1e3
+    print(f"online {args.discipline} service on {args.dataset}: "
+          f"{args.queries} {args.k}-hop queries at {args.rate:g}/s "
+          f"({args.machines} machines, {rep.num_batches} dispatch(es))",
+          file=out)
+    print(f"  response ms: mean {resp.mean():9.3f}  p50 {np.percentile(resp, 50):9.3f}  "
+          f"p95 {np.percentile(resp, 95):9.3f}  max {resp.max():9.3f}", file=out)
+    print(f"  queueing ms: mean {rep.queueing_seconds.mean() * 1e3:9.3f}", file=out)
+    print(f"  clock at drain end: {svc.clock * 1e3:.3f} ms "
+          f"(session batches run: {sess.batches_run})", file=out)
     return 0
 
 
@@ -291,6 +354,7 @@ def main(argv=None, out=None) -> int:
         "hopplot": cmd_hopplot,
         "path": cmd_path,
         "centrality": cmd_centrality,
+        "service": cmd_service,
         "experiment": cmd_experiment,
     }[args.command]
     return handler(args, out)

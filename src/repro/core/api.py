@@ -25,16 +25,16 @@ suite reimplements Listing 2's k-hop on it to prove equivalence.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import EngineResult, PartitionTask, SuperstepEngine
+from repro.runtime.engine import EngineResult, PartitionTask
 from repro.runtime.message import MessageBatch
 from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.session import GraphSession
 
 __all__ = ["PartitionContext", "PartitionProgram", "run_program"]
 
@@ -195,6 +195,7 @@ def run_program(
     netmodel: NetworkModel | None = None,
     max_supersteps: int | None = None,
     combiner=None,
+    session: GraphSession | None = None,
 ) -> tuple[list[PartitionProgram], EngineResult]:
     """Instantiate one program per partition and run to quiescence.
 
@@ -202,13 +203,13 @@ def run_program(
     (so programs can seed state) and must return a
     :class:`PartitionProgram`.  Programs halt when every partition votes to
     halt with empty inboxes.  Returns the program instances (holding user
-    state) and the engine result.
+    state) and the engine result.  Program/context state is per-run (it
+    belongs to the user's program instances), so only the partitioned graph
+    and cluster are reused from a persistent ``session``.
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-    cluster = SimCluster(pg, netmodel)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    cluster = sess.cluster
+    sess.prepare()
     tasks = []
     programs = []
     for m in cluster.machines:
@@ -221,10 +222,12 @@ def run_program(
         task.program = program
         programs.append(program)
         tasks.append(task)
-    from repro.runtime.message import combine_or
 
-    engine = SuperstepEngine(cluster, tasks, combiner=combiner or _concat_combiner)
-    result = engine.run(max_supersteps=max_supersteps)
+    result = sess.run_batch(
+        tasks,
+        combiner=combiner or _concat_combiner,
+        max_supersteps=max_supersteps,
+    )
     return programs, result
 
 

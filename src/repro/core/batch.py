@@ -21,8 +21,9 @@ import numpy as np
 from repro.core.frontier import MAX_BATCH_WIDTH
 from repro.core.khop import KHopResult, concurrent_khop
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.netmodel import NetworkModel
+from repro.runtime.session import GraphSession
 
 __all__ = ["QueryStreamResult", "run_query_stream"]
 
@@ -65,24 +66,24 @@ def run_query_stream(
     netmodel: NetworkModel | None = None,
     use_edge_sets: bool = False,
     asynchronous: bool = False,
+    session: GraphSession | None = None,
 ) -> QueryStreamResult:
     """Execute a stream of concurrent queries in word-wide batches.
 
-    The graph is partitioned once and reused across batches (per §3.3 the
-    per-query state — frontiers and values — is allocated per batch and
-    released after it, bounding memory to one batch's planes).
+    The graph is partitioned once into a :class:`GraphSession` and reused
+    across every batch of the stream — frontier planes are re-armed in
+    place between batches (per §3.3 the per-query state is bounded by one
+    batch's planes); pass a persistent ``session`` to amortise the build
+    across streams too.
     """
     if not 1 <= batch_width <= MAX_BATCH_WIDTH:
         raise ValueError(f"batch_width must be in [1, {MAX_BATCH_WIDTH}]")
     sources = np.asarray(sources, dtype=np.int64)
     if sources.size == 0:
         raise ValueError("at least one query required")
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-        if use_edge_sets:
-            pg.build_edge_sets()
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    if use_edge_sets:
+        sess.build_edge_sets()
 
     num_queries = sources.size
     batch_of_query = np.arange(num_queries) // batch_width
@@ -97,12 +98,12 @@ def run_query_stream(
     for b in range(int(batch_of_query[-1]) + 1):
         idx = np.nonzero(batch_of_query == b)[0]
         res = concurrent_khop(
-            pg,
+            sess.pg,
             sources[idx],
             k,
-            netmodel=netmodel,
             use_edge_sets=use_edge_sets,
             asynchronous=asynchronous,
+            session=sess,
         )
         response[idx] = clock + res.completion_seconds
         reached[idx] = res.reached

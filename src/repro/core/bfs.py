@@ -26,6 +26,7 @@ def concurrent_bfs(
     use_edge_sets: bool = False,
     asynchronous: bool = False,
     record_depths: bool = False,
+    session=None,
 ) -> KHopResult:
     """Run up to 64 full BFS traversals concurrently (bit-parallel batch)."""
     return concurrent_khop(
@@ -37,6 +38,7 @@ def concurrent_bfs(
         use_edge_sets=use_edge_sets,
         asynchronous=asynchronous,
         record_depths=record_depths,
+        session=session,
     )
 
 
@@ -45,6 +47,7 @@ def single_source_bfs(
     source: int,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session=None,
 ) -> np.ndarray:
     """Hop distances from one source (-1 unreachable), via the batch engine."""
     res = concurrent_khop(
@@ -54,5 +57,6 @@ def single_source_bfs(
         num_machines=num_machines,
         netmodel=netmodel,
         record_depths=True,
+        session=session,
     )
     return res.depths[:, 0].astype(np.int32)

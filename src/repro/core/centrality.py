@@ -17,8 +17,9 @@ import numpy as np
 
 from repro.core.khop import concurrent_khop
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.netmodel import NetworkModel
+from repro.runtime.session import GraphSession
 
 __all__ = ["CentralityResult", "closeness_centrality", "harmonic_centrality"]
 
@@ -40,12 +41,16 @@ class CentralityResult:
 
 class _DepthStream:
     """Streams per-root BFS depth vectors out of 64-wide shared batches,
-    accumulating the batches' virtual time and edge-scan counts."""
+    accumulating the batches' virtual time and edge-scan counts.
 
-    def __init__(self, pg: PartitionedGraph, roots: np.ndarray, netmodel):
-        self.pg = pg
+    All batches of the stream run on one :class:`GraphSession`, so the
+    frontier planes are re-armed in place between batches instead of
+    reallocated per chunk of 64 roots.
+    """
+
+    def __init__(self, session: GraphSession, roots: np.ndarray):
+        self.session = session
         self.roots = roots
-        self.netmodel = netmodel
         self.virtual_seconds = 0.0
         self.total_edges_scanned = 0
 
@@ -53,8 +58,8 @@ class _DepthStream:
         for start in range(0, self.roots.size, 64):
             chunk = self.roots[start : start + 64]
             res = concurrent_khop(
-                self.pg, chunk, k=None, netmodel=self.netmodel,
-                record_depths=True,
+                self.session.pg, chunk, k=None, record_depths=True,
+                session=self.session,
             )
             self.virtual_seconds += res.virtual_seconds
             self.total_edges_scanned += res.total_edges_scanned
@@ -62,16 +67,14 @@ class _DepthStream:
                 yield start + q, res.depths[:, q]
 
 
-def _prepare(graph, roots, num_machines):
-    pg = graph if isinstance(graph, PartitionedGraph) else range_partition(
-        graph, num_machines
-    )
+def _prepare(graph, roots, num_machines, netmodel, session):
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     roots = (
-        np.arange(pg.num_vertices)
+        np.arange(sess.num_vertices)
         if roots is None
         else np.asarray(roots, dtype=np.int64)
     )
-    return pg, roots
+    return sess, roots
 
 
 def closeness_centrality(
@@ -79,6 +82,7 @@ def closeness_centrality(
     roots=None,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session: GraphSession | None = None,
 ) -> CentralityResult:
     """Wasserman–Faust closeness of ``roots`` (default: every vertex).
 
@@ -88,10 +92,10 @@ def closeness_centrality(
     each root (the query engine's traversal direction); on the symmetric
     social graphs of the paper the distinction vanishes.
     """
-    pg, roots = _prepare(graph, roots, num_machines)
-    n = pg.num_vertices
+    sess, roots = _prepare(graph, roots, num_machines, netmodel, session)
+    n = sess.num_vertices
     scores = np.zeros(roots.size)
-    stream = _DepthStream(pg, roots, netmodel)
+    stream = _DepthStream(sess, roots)
     for i, depths in stream:
         reachable = depths > 0
         r = int(reachable.sum()) + 1  # + the root itself
@@ -108,15 +112,16 @@ def harmonic_centrality(
     roots=None,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session: GraphSession | None = None,
 ) -> CentralityResult:
     """Harmonic centrality: ``sum over reachable u of 1 / d(v, u)``.
 
     Robust to disconnection without correction terms; same outgoing-distance
     convention as :func:`closeness_centrality`.
     """
-    pg, roots = _prepare(graph, roots, num_machines)
+    sess, roots = _prepare(graph, roots, num_machines, netmodel, session)
     scores = np.zeros(roots.size)
-    stream = _DepthStream(pg, roots, netmodel)
+    stream = _DepthStream(sess, roots)
     for i, depths in stream:
         reachable = depths > 0
         if reachable.any():

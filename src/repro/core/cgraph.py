@@ -32,8 +32,9 @@ from repro.core.sssp import SSSPResult, sssp
 from repro.core.traversal import khop_query, khop_service_time, traverse
 from repro.core.triangles import khop_triangle_count, triangle_count
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.netmodel import NetworkModel
+from repro.runtime.session import GraphSession
 
 __all__ = ["CGraph"]
 
@@ -72,11 +73,19 @@ class CGraph:
         else:
             self.id_map = None
         self.edges = edges
-        self.netmodel = netmodel or NetworkModel()
-        self.pg: PartitionedGraph = range_partition(edges, num_machines)
-        self.has_edge_sets = False
-        if edge_sets:
-            self.build_edge_sets(sets_per_partition, consolidate_min_edges)
+        # The facade is backed by a persistent GraphSession: partitions,
+        # cluster, cost model and per-algorithm task state all live for the
+        # CGraph's lifetime and are reused across every query batch.
+        self.session = GraphSession(
+            edges,
+            num_machines=num_machines,
+            netmodel=netmodel,
+            edge_sets=edge_sets,
+            sets_per_partition=sets_per_partition,
+            consolidate_min_edges=consolidate_min_edges,
+        )
+        self.netmodel = self.session.netmodel
+        self.pg: PartitionedGraph = self.session.pg
 
     # -- structure --------------------------------------------------------- #
 
@@ -92,12 +101,15 @@ class CGraph:
     def num_machines(self) -> int:
         return self.pg.num_partitions
 
+    @property
+    def has_edge_sets(self) -> bool:
+        return self.session.has_edge_sets
+
     def build_edge_sets(
         self, sets_per_partition: int = 8, consolidate_min_edges: int | None = None
     ) -> None:
         """Tile partitions into LLC-sized edge-sets (§3.2)."""
-        self.pg.build_edge_sets(sets_per_partition, consolidate_min_edges)
-        self.has_edge_sets = True
+        self.session.build_edge_sets(sets_per_partition, consolidate_min_edges)
 
     def to_internal(self, vertices) -> np.ndarray:
         """Map caller vertex ids through the ingestion re-indexing (if any)."""
@@ -108,66 +120,71 @@ class CGraph:
 
     def khop(self, sources, k: int | None, **kwargs) -> KHopResult:
         """One bit-parallel batch of up to 64 concurrent k-hop queries."""
-        kwargs.setdefault("netmodel", self.netmodel)
         if self.has_edge_sets:
             kwargs.setdefault("use_edge_sets", True)
-        return concurrent_khop(self.pg, self.to_internal(sources), k, **kwargs)
+        return concurrent_khop(
+            self.pg, self.to_internal(sources), k, session=self.session, **kwargs
+        )
 
     def khop_batch(self, sources, k: int | None, batch_width: int = 64,
                    **kwargs) -> QueryStreamResult:
         """A stream of any number of concurrent queries, batched word-wide."""
-        kwargs.setdefault("netmodel", self.netmodel)
         if self.has_edge_sets:
             kwargs.setdefault("use_edge_sets", True)
         return run_query_stream(
-            self.pg, self.to_internal(sources), k, batch_width=batch_width, **kwargs
+            self.pg, self.to_internal(sources), k, batch_width=batch_width,
+            session=self.session, **kwargs
         )
 
     def reachable_within(self, source: int, k: int) -> np.ndarray:
         """Internal-id vertex set within k hops of ``source``."""
         return khop_query(self.pg, int(self.to_internal([source])[0]), k,
-                          netmodel=self.netmodel)
+                          session=self.session)
 
     def bfs(self, sources, **kwargs) -> KHopResult:
         """Concurrent full BFS (the k→∞ case)."""
-        kwargs.setdefault("netmodel", self.netmodel)
-        return concurrent_bfs(self.pg, self.to_internal(sources), **kwargs)
+        return concurrent_bfs(
+            self.pg, self.to_internal(sources), session=self.session, **kwargs
+        )
 
     def bfs_levels(self, source: int) -> np.ndarray:
         """Hop distances from one source (internal indexing)."""
         return single_source_bfs(
-            self.pg, int(self.to_internal([source])[0]), netmodel=self.netmodel
+            self.pg, int(self.to_internal([source])[0]), session=self.session
         )
 
     def traverse(self, source: int, hops: int | None, visit=None) -> KHopResult:
         """Listing 2's Traverse with a per-level visit callback."""
         return traverse(self.pg, int(self.to_internal([source])[0]), hops,
-                        visit=visit, netmodel=self.netmodel)
+                        visit=visit, session=self.session)
 
     def query_service_time(self, source: int, k: int | None) -> tuple[float, int]:
         """(virtual seconds, reach) of a standalone query — scheduler input."""
         return khop_service_time(
             self.pg, int(self.to_internal([source])[0]), k,
-            netmodel=self.netmodel, use_edge_sets=self.has_edge_sets,
+            use_edge_sets=self.has_edge_sets, session=self.session,
         )
 
     # -- iterative compute --------------------------------------------------#
 
     def pagerank(self, iterations: int = DEFAULT_ITERATIONS, **kwargs) -> GASRun:
         """Listing 3's PageRank (10 iterations by default, as in §4.1)."""
-        kwargs.setdefault("netmodel", self.netmodel)
-        return pagerank(self.pg, iterations=iterations, **kwargs)
+        return pagerank(
+            self.pg, iterations=iterations, session=self.session, **kwargs
+        )
 
     def run_vertex_program(self, program: VertexProgram, iterations: int,
                            **kwargs) -> GASRun:
         """Run any GAS vertex program on this graph."""
-        kwargs.setdefault("netmodel", self.netmodel)
-        return run_gas(self.pg, program, iterations=iterations, **kwargs)
+        return run_gas(
+            self.pg, program, iterations=iterations, session=self.session,
+            **kwargs
+        )
 
     def sssp(self, source: int, max_hops: int | None = None) -> SSSPResult:
         """Weighted shortest paths with optional hop budget (SDN queries)."""
         return sssp(self.pg, int(self.to_internal([source])[0]),
-                    max_hops=max_hops, netmodel=self.netmodel)
+                    max_hops=max_hops, session=self.session)
 
     def reach(self, sources, targets, k: int | None) -> ReachabilityResult:
         """Pairwise ``source -> target`` within-k reachability (title query).
@@ -179,14 +196,14 @@ class CGraph:
             self.to_internal(sources),
             self.to_internal(targets),
             k,
-            netmodel=self.netmodel,
             use_edge_sets=self.has_edge_sets,
+            session=self.session,
         )
 
     def core_numbers(self) -> KCoreResult:
         """Coreness of every vertex (undirected simple view), distributed."""
         return core_numbers(self.pg, num_machines=self.num_machines,
-                            netmodel=self.netmodel)
+                            session=self.session)
 
     # -- derived analytics ----------------------------------------------------#
 

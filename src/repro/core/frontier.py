@@ -72,6 +72,12 @@ class BitFrontier:
         self.next = np.zeros(self.num_local, dtype=_WORD)
         self.visited = np.zeros(self.num_local, dtype=_WORD)
 
+    def clear(self) -> None:
+        """Zero all three planes in place (batch reuse without reallocation)."""
+        self.frontier.fill(0)
+        self.next.fill(0)
+        self.visited.fill(0)
+
     def seed(self, local_vertex: int, query_index: int) -> None:
         """Place ``query_index``'s source at ``local_vertex`` (level 0)."""
         if not 0 <= query_index < self.num_queries:

@@ -24,11 +24,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import EngineResult, PartitionTask, SuperstepEngine
+from repro.runtime.engine import EngineResult, PartitionTask
 from repro.runtime.message import MessageBatch, _combine
 from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.session import GraphSession
 
 __all__ = ["VertexProgram", "GASPartitionTask", "run_gas", "GASRun"]
 
@@ -90,10 +91,7 @@ class GASPartitionTask(PartitionTask):
                  initial: np.ndarray):
         super().__init__(machine)
         self.cluster = cluster
-        self.program = program
-        self.values = np.array(initial[machine.lo : machine.hi], dtype=np.float64)
-        self.gathered = np.full(machine.num_local, program.identity, dtype=np.float64)
-        self.converged = False
+        self.reset(program, initial)
         part = machine.partition
         csr = part.out_csr
         # Precompute the expansion of local out-edges once; every iteration
@@ -113,6 +111,20 @@ class GASPartitionTask(PartitionTask):
             self._remote_groups.append(
                 (int(dest), sel, self._edge_dst[sel])
             )
+
+    def reset(self, program: VertexProgram, initial: np.ndarray) -> None:
+        """Re-arm per-run state (values, aggregates) for a new program run.
+
+        The precomputed edge expansion is structural and survives resets —
+        a session-cached task only pays for the value arrays per batch.
+        """
+        machine = self.machine
+        self.program = program
+        self.values = np.array(initial[machine.lo : machine.hi], dtype=np.float64)
+        self.gathered = np.full(
+            machine.num_local, program.identity, dtype=np.float64
+        )
+        self.converged = False
 
     def compute(self, stats: StepStats) -> None:
         # ``gathered`` accumulates across the whole superstep (local adds
@@ -161,28 +173,34 @@ def run_gas(
     netmodel: NetworkModel | None = None,
     asynchronous: bool = False,
     parallel_compute: bool = False,
+    session: GraphSession | None = None,
 ) -> GASRun:
     """Execute a vertex program for up to ``iterations`` supersteps.
 
     Stops early if every partition's :meth:`VertexProgram.has_converged`
-    returns True.  Returns the assembled global value vector.
+    returns True.  Returns the assembled global value vector.  With a
+    persistent ``session`` the partitioned graph and cluster are reused;
+    program state (values, gathered aggregates, the precomputed edge
+    expansion) is rebuilt per run since it belongs to the program instance.
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-    cluster = SimCluster(pg, netmodel)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    cluster = sess.cluster
+    sess.prepare()
     initial = program.initial_values(pg.num_vertices)
-    tasks = [GASPartitionTask(m, cluster, program, initial) for m in cluster.machines]
+    tasks = sess.tasks_for(
+        ("gas",),
+        lambda m: GASPartitionTask(m, cluster, program, initial),
+        lambda t: t.reset(program, initial),
+    )
 
     def gas_combiner(batch: MessageBatch) -> MessageBatch:
         return _combine(batch, program.combiner)
 
-    engine = SuperstepEngine(
-        cluster, tasks, combiner=gas_combiner, asynchronous=asynchronous,
-        parallel_compute=parallel_compute,
+    result = sess.run_batch(
+        tasks, combiner=gas_combiner, asynchronous=asynchronous,
+        parallel_compute=parallel_compute, max_supersteps=iterations,
     )
-    result = engine.run(max_supersteps=iterations)
     values = np.empty(pg.num_vertices, dtype=np.float64)
     for t in tasks:
         values[t.machine.lo : t.machine.hi] = t.values

@@ -20,10 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graph.csr import CSR, build_csr
+from repro.graph.csr import CSR
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import PartitionedGraph, range_partition
 from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
+from repro.runtime.session import GraphSession
 
 __all__ = ["KCoreResult", "core_numbers", "h_index_per_row"]
 
@@ -68,6 +69,7 @@ def core_numbers(
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
     max_rounds: int | None = None,
+    session: GraphSession | None = None,
 ) -> KCoreResult:
     """Coreness of every vertex of the undirected simple view of ``graph``.
 
@@ -75,18 +77,21 @@ def core_numbers(
     global value vector; only *changed boundary values* are charged to the
     network (values start at the degree and only decrease, so per-round
     traffic shrinks as the fixpoint nears).  Converges in at most
-    ``O(max_degree)`` rounds, usually far fewer.
+    ``O(max_degree)`` rounds, usually far fewer.  With a persistent
+    ``session`` the symmetrised simple view and its partitioning are cached
+    on the session and reused across calls.
     """
-    if isinstance(graph, PartitionedGraph):
-        edges = graph.edges
+    if session is not None or isinstance(graph, GraphSession):
+        sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+        pg = sess.undirected_pg()
+        netmodel = netmodel or sess.netmodel
     else:
-        edges = graph
-    simple = edges.symmetrize().remove_self_loops().deduplicate()
-    n = simple.num_vertices
-    pg = range_partition(simple, num_machines)
+        edges = graph.edges if isinstance(graph, PartitionedGraph) else graph
+        simple = edges.symmetrize().remove_self_loops().deduplicate()
+        pg = range_partition(simple, num_machines)
     netmodel = netmodel or NetworkModel()
 
-    values = simple.out_degrees().astype(np.int64)
+    values = pg.edges.out_degrees().astype(np.int64)
     clock = VirtualClock()
     rounds = 0
     boundary = [p.boundary_vertices() for p in pg.partitions]

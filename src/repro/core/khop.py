@@ -18,13 +18,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.frontier import MAX_BATCH_WIDTH, BitFrontier, per_query_counts
+from repro.core.frontier import MAX_BATCH_WIDTH, BitFrontier
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import PartitionTask, SuperstepEngine
+from repro.runtime.engine import PartitionTask
 from repro.runtime.message import MessageBatch, combine_or
 from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.session import GraphSession
 
 __all__ = ["KHopResult", "KHopPartitionTask", "concurrent_khop"]
 
@@ -87,6 +88,34 @@ class KHopPartitionTask(PartitionTask):
             else None
         )
 
+    def seed(self, local_vertex: int, query_index: int) -> None:
+        """Place query ``query_index``'s source at ``local_vertex``."""
+        self.state.seed(local_vertex, query_index)
+
+    def reset(
+        self, num_queries: int, k: int | None, record_depths: bool = False
+    ) -> None:
+        """Re-arm this task for a new batch, reusing allocated planes.
+
+        Frontier/next/visited (and the depth matrix, when recorded) are
+        zeroed in place when the batch width matches the previous one;
+        otherwise the state is re-sized.
+        """
+        self.k = k
+        self.level = 0
+        if self.state.num_queries == num_queries:
+            self.state.clear()
+        else:
+            self.state = BitFrontier(self.machine.num_local, num_queries)
+        if not record_depths:
+            self.depths = None
+        elif self.depths is not None and self.depths.shape[1] == num_queries:
+            self.depths.fill(-1)
+        else:
+            self.depths = np.full(
+                (self.machine.num_local, num_queries), -1, dtype=np.int16
+            )
+
     # -- PartitionTask interface ---------------------------------------- #
 
     def compute(self, stats: StepStats) -> None:
@@ -112,11 +141,15 @@ class KHopPartitionTask(PartitionTask):
         newly = self.state.promote()
         if self.depths is not None and newly.any():
             rows = np.nonzero(newly)[0]
-            words = newly[rows]
-            one = np.uint64(1)
-            for q in range(self.state.num_queries):
-                hit = rows[((words >> np.uint64(q)) & one).astype(bool)]
-                self.depths[hit, q] = self.level + 1
+            # one vectorised unpack of all 64 query bits per touched vertex
+            # (explicit little-endian view keeps byte order platform-stable)
+            bits = np.unpackbits(
+                newly[rows].astype("<u8").view(np.uint8).reshape(rows.size, 8),
+                axis=1,
+                bitorder="little",
+            )[:, : self.state.num_queries]
+            r, q = np.nonzero(bits)
+            self.depths[rows[r], q] = self.level + 1
         self.level += 1
         budget_left = self.k is None or self.level < self.k
         return bool(budget_left and self.state.frontier.any())
@@ -188,6 +221,7 @@ def concurrent_khop(
     record_depths: bool = False,
     max_supersteps: int | None = None,
     parallel_compute: bool = False,
+    session: GraphSession | None = None,
 ) -> KHopResult:
     """Run up to 64 k-hop queries concurrently with bit-parallel sharing.
 
@@ -209,32 +243,30 @@ def concurrent_khop(
     parallel_compute:
         Run the per-machine compute phase on one thread per machine
         (synchronous mode only); answers are identical.
+    session:
+        A persistent :class:`~repro.runtime.session.GraphSession` to run the
+        batch on; its graph/cluster are reused and its cached task list is
+        reset in place.  Omitted, a transient session is built per call.
 
     Returns a :class:`KHopResult`; virtual time comes from the cluster's
     network model and counted work.
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-    sources = np.asarray(sources, dtype=np.int64)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    cluster = sess.cluster
+    sources = sess.check_sources(sources, MAX_BATCH_WIDTH)
     num_queries = int(sources.size)
-    if not 1 <= num_queries <= MAX_BATCH_WIDTH:
-        raise ValueError(f"need 1..{MAX_BATCH_WIDTH} sources, got {num_queries}")
-    if sources.size and (sources.min() < 0 or sources.max() >= pg.num_vertices):
-        raise ValueError("source vertex out of range")
 
-    cluster = SimCluster(pg, netmodel)
-    tasks = [
-        KHopPartitionTask(
+    sess.prepare()
+    tasks = sess.tasks_for(
+        ("khop", use_edge_sets),
+        lambda m: KHopPartitionTask(
             m, cluster, num_queries, k,
             use_edge_sets=use_edge_sets, record_depths=record_depths,
-        )
-        for m in cluster.machines
-    ]
-    for q, s in enumerate(sources):
-        machine = cluster.machine_of(int(s))
-        tasks[machine.machine_id].state.seed(int(s) - machine.lo, q)
+        ),
+        lambda t: t.reset(num_queries, k, record_depths=record_depths),
+    )
+    sess.seed_sources(tasks, sources)
 
     completion_level = np.full(num_queries, 0, dtype=np.int64)
     completion_seconds = np.zeros(num_queries, dtype=np.float64)
@@ -258,13 +290,17 @@ def concurrent_khop(
                 completion_level[q] = k
                 completion_seconds[q] = now
 
-    engine = SuperstepEngine(cluster, tasks, combiner=combine_or,
-                             asynchronous=asynchronous,
-                             parallel_compute=parallel_compute)
     cap = max_supersteps
     if k is not None:
         cap = k if cap is None else min(cap, k)
-    result = engine.run(max_supersteps=cap, on_step=on_step)
+    result = sess.run_batch(
+        tasks,
+        combiner=combine_or,
+        asynchronous=asynchronous,
+        parallel_compute=parallel_compute,
+        max_supersteps=cap,
+        on_step=on_step,
+    )
 
     reached = np.zeros(num_queries, dtype=np.int64)
     for t in tasks:

@@ -20,11 +20,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import PartitionTask, SuperstepEngine
+from repro.runtime.engine import PartitionTask
 from repro.runtime.message import MessageBatch, combine_min
 from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.session import GraphSession
 
 __all__ = ["MultiSSSPResult", "concurrent_sssp"]
 
@@ -129,6 +130,7 @@ def concurrent_sssp(
     max_hops: int | None = None,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session: GraphSession | None = None,
 ) -> MultiSSSPResult:
     """Run up to 64 weighted single-source queries in one shared sweep.
 
@@ -136,28 +138,20 @@ def concurrent_sssp(
     most ``max_hops`` edges (``None`` = unconstrained).  Requires edge
     weights.
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-    sources = np.asarray(sources, dtype=np.int64)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    cluster = sess.cluster
+    sources = sess.check_sources(sources, MAX_SSSP_BATCH)
     num_queries = int(sources.size)
-    if not 1 <= num_queries <= MAX_SSSP_BATCH:
-        raise ValueError(f"need 1..{MAX_SSSP_BATCH} sources")
-    if sources.size and (sources.min() < 0 or sources.max() >= pg.num_vertices):
-        raise ValueError("source vertex out of range")
 
-    cluster = SimCluster(pg, netmodel)
+    sess.prepare()
     tasks = [
         _MultiSSSPTask(m, cluster, num_queries, max_hops)
         for m in cluster.machines
     ]
-    for q, s in enumerate(sources):
-        machine = cluster.machine_of(int(s))
-        tasks[machine.machine_id].seed(int(s) - machine.lo, q)
+    sess.seed_sources(tasks, sources)
 
-    engine = SuperstepEngine(cluster, tasks, combiner=combine_min)
-    result = engine.run(max_supersteps=max_hops)
+    result = sess.run_batch(tasks, combiner=combine_min, max_supersteps=max_hops)
 
     distances = np.empty((pg.num_vertices, num_queries))
     for t in tasks:

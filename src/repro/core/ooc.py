@@ -20,11 +20,10 @@ from repro.core.frontier import MAX_BATCH_WIDTH
 from repro.core.khop import KHopPartitionTask
 from repro.graph.edgelist import EdgeList
 from repro.graph.outofcore import SpillableEdgeSetStore
-from repro.graph.partition import PartitionedGraph, range_partition
-from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import SuperstepEngine
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.message import combine_or
 from repro.runtime.netmodel import NetworkModel
+from repro.runtime.session import GraphSession
 
 __all__ = ["OOCKHopResult", "concurrent_khop_out_of_core"]
 
@@ -95,6 +94,7 @@ def concurrent_khop_out_of_core(
     sets_per_partition: int = 8,
     consolidate_min_edges: int | None = None,
     spill_directory=None,
+    session: GraphSession | None = None,
 ) -> OOCKHopResult:
     """Run a concurrent k-hop batch with disk-resident edge-sets.
 
@@ -106,25 +106,19 @@ def concurrent_khop_out_of_core(
     (``consolidate_min_edges``) merges tiny blocks — the §3.2 trade this
     mode exists to demonstrate.
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-    if any(p.edge_sets is None for p in pg.partitions):
-        pg.build_edge_sets(sets_per_partition, consolidate_min_edges)
-    sources = np.asarray(sources, dtype=np.int64)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    cluster = sess.cluster
+    sess.build_edge_sets(sets_per_partition, consolidate_min_edges)
+    sources = sess.check_sources(sources, MAX_BATCH_WIDTH)
     num_queries = int(sources.size)
-    if not 1 <= num_queries <= MAX_BATCH_WIDTH:
-        raise ValueError(f"need 1..{MAX_BATCH_WIDTH} sources")
-    if sources.size and (sources.min() < 0 or sources.max() >= pg.num_vertices):
-        raise ValueError("source vertex out of range")
 
     tmp = None
     if spill_directory is None:
         tmp = tempfile.TemporaryDirectory(prefix="cgraph-ooc-")
         spill_directory = tmp.name
     try:
-        cluster = SimCluster(pg, netmodel)
+        sess.prepare()
         stores = [
             SpillableEdgeSetStore(
                 part.edge_sets,
@@ -133,16 +127,16 @@ def concurrent_khop_out_of_core(
             )
             for part in pg.partitions
         ]
+        # tasks are per-call: the spill store is bound to this call's
+        # spill directory, so caching them on the session would pin a
+        # (possibly temporary) directory beyond its lifetime
         tasks = [
             _OOCKHopTask(m, cluster, num_queries, k, stores[m.machine_id])
             for m in cluster.machines
         ]
-        for q, s in enumerate(sources):
-            machine = cluster.machine_of(int(s))
-            tasks[machine.machine_id].state.seed(int(s) - machine.lo, q)
+        sess.seed_sources(tasks, sources)
 
-        engine = SuperstepEngine(cluster, tasks, combiner=combine_or)
-        result = engine.run(max_supersteps=k)
+        result = sess.run_batch(tasks, combiner=combine_or, max_supersteps=k)
 
         reached = np.zeros(num_queries, dtype=np.int64)
         for t in tasks:

@@ -14,7 +14,6 @@ scalability bench normalises to the single-machine run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -73,6 +72,7 @@ def pagerank(
     tolerance: float | None = None,
     asynchronous: bool = False,
     parallel_compute: bool = False,
+    session=None,
 ) -> GASRun:
     """Run PageRank; returns a :class:`~repro.core.gas.GASRun`.
 
@@ -88,4 +88,5 @@ def pagerank(
         netmodel=netmodel,
         asynchronous=asynchronous,
         parallel_compute=parallel_compute,
+        session=session,
     )

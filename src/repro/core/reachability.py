@@ -20,11 +20,10 @@ import numpy as np
 from repro.core.frontier import MAX_BATCH_WIDTH
 from repro.core.khop import KHopPartitionTask
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
-from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import SuperstepEngine
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.message import combine_or
 from repro.runtime.netmodel import NetworkModel
+from repro.runtime.session import GraphSession
 
 __all__ = ["ReachabilityResult", "reachability_queries"]
 
@@ -63,6 +62,7 @@ def reachability_queries(
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
     use_edge_sets: bool = False,
+    session: GraphSession | None = None,
 ) -> ReachabilityResult:
     """Answer up to 64 ``source -> target`` within-``k``-hops queries at once.
 
@@ -70,29 +70,27 @@ def reachability_queries(
     additionally, a query's bit is masked out of every frontier as soon as
     its verdict is known, shrinking the shared batch as answers arrive.
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    cluster = sess.cluster
     sources = np.asarray(sources, dtype=np.int64)
     targets = np.asarray(targets, dtype=np.int64)
     if sources.shape != targets.shape:
         raise ValueError("sources/targets must align")
+    sources = sess.check_sources(sources, MAX_BATCH_WIDTH)
     num_queries = int(sources.size)
-    if not 1 <= num_queries <= MAX_BATCH_WIDTH:
-        raise ValueError(f"need 1..{MAX_BATCH_WIDTH} pairs, got {num_queries}")
-    for arr in (sources, targets):
-        if arr.size and (arr.min() < 0 or arr.max() >= pg.num_vertices):
-            raise ValueError("vertex id out of range")
+    if targets.size and (targets.min() < 0 or targets.max() >= pg.num_vertices):
+        raise ValueError("vertex id out of range")
 
-    cluster = SimCluster(pg, netmodel)
-    tasks = [
-        KHopPartitionTask(m, cluster, num_queries, k, use_edge_sets=use_edge_sets)
-        for m in cluster.machines
-    ]
-    for q, s in enumerate(sources):
-        machine = cluster.machine_of(int(s))
-        tasks[machine.machine_id].state.seed(int(s) - machine.lo, q)
+    sess.prepare()
+    tasks = sess.tasks_for(
+        ("reach", use_edge_sets),
+        lambda m: KHopPartitionTask(
+            m, cluster, num_queries, k, use_edge_sets=use_edge_sets
+        ),
+        lambda t: t.reset(num_queries, k),
+    )
+    sess.seed_sources(tasks, sources)
 
     reachable = sources == targets
     hops = np.where(reachable, 0, -1).astype(np.int64)
@@ -135,9 +133,9 @@ def reachability_queries(
             for t in tasks:
                 t.state.frontier &= keep
 
-    engine = SuperstepEngine(cluster, tasks, combiner=combine_or)
-    cap = k
-    result = engine.run(max_supersteps=cap, on_step=on_step)
+    result = sess.run_batch(
+        tasks, combiner=combine_or, max_supersteps=k, on_step=on_step
+    )
 
     total = result.total_stats()
     return ReachabilityResult(

@@ -19,11 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import EngineResult, PartitionTask, SuperstepEngine
+from repro.runtime.engine import EngineResult, PartitionTask
 from repro.runtime.message import MessageBatch, combine_min
 from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.session import GraphSession
 
 __all__ = ["SSSPResult", "sssp"]
 
@@ -116,6 +117,7 @@ def sssp(
     max_hops: int | None = None,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session: GraphSession | None = None,
 ) -> SSSPResult:
     """Distributed SSSP with an optional hop budget.
 
@@ -125,19 +127,17 @@ def sssp(
     (:meth:`~repro.graph.edgelist.EdgeList.with_unit_weights` turns hop count
     into distance).
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    cluster = sess.cluster
     if not 0 <= source < pg.num_vertices:
         raise ValueError("source out of range")
-    cluster = SimCluster(pg, netmodel)
+    sess.prepare()
     tasks = [_SSSPTask(m, cluster, max_hops) for m in cluster.machines]
     home = cluster.machine_of(source)
     tasks[home.machine_id].seed(source - home.lo)
-    engine = SuperstepEngine(cluster, tasks, combiner=combine_min)
     cap = None if max_hops is None else max_hops
-    result = engine.run(max_supersteps=cap)
+    result = sess.run_batch(tasks, combiner=combine_min, max_supersteps=cap)
     distances = np.empty(pg.num_vertices)
     for t in tasks:
         distances[t.machine.lo : t.machine.hi] = t.dist

@@ -34,6 +34,7 @@ def traverse(
     visit: Callable[[int, np.ndarray], None] | None = None,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session=None,
 ) -> KHopResult:
     """Listing 2's ``Traverse``: visit the ≤ ``hops`` neighbourhood of ``source``.
 
@@ -49,6 +50,7 @@ def traverse(
         num_machines=num_machines,
         netmodel=netmodel,
         record_depths=True,
+        session=session,
     )
     if visit is not None:
         depths = res.depths[:, 0]
@@ -66,11 +68,12 @@ def khop_query(
     k: int,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session=None,
 ) -> np.ndarray:
     """Global ids of all vertices within ``k`` hops of ``source`` (incl. it)."""
     res = concurrent_khop(
         graph, [source], k, num_machines=num_machines,
-        netmodel=netmodel, record_depths=True,
+        netmodel=netmodel, record_depths=True, session=session,
     )
     return np.nonzero(res.depths[:, 0] >= 0)[0]
 
@@ -82,6 +85,7 @@ def shortest_hop_path(
     k: int | None = None,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session=None,
 ) -> list[int] | None:
     """One minimum-hop path ``source -> ... -> target`` within ``k`` hops.
 
@@ -92,14 +96,14 @@ def shortest_hop_path(
     backward step a local scan).  Returns ``None`` when the target is not
     reachable within the budget.
     """
-    from repro.graph.partition import range_partition as _rp
+    from repro.runtime.session import GraphSession
 
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = _rp(graph, num_machines)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    if not 0 <= int(target) < pg.num_vertices:
+        raise ValueError("target vertex out of range")
     res = concurrent_khop(
-        pg, [source], k, netmodel=netmodel, record_depths=True,
+        pg, [source], k, record_depths=True, session=sess,
     )
     depths = res.depths[:, 0]
     if depths[target] < 0:
@@ -124,6 +128,7 @@ def khop_service_time(
     k: int | None,
     netmodel: NetworkModel | None = None,
     use_edge_sets: bool = False,
+    session=None,
 ) -> tuple[float, int]:
     """(virtual seconds, vertices reached) of one standalone k-hop query.
 
@@ -131,6 +136,7 @@ def khop_service_time(
     service times into :mod:`repro.runtime.scheduler` to model concurrency.
     """
     res = concurrent_khop(
-        graph, [source], k, netmodel=netmodel, use_edge_sets=use_edge_sets
+        graph, [source], k, netmodel=netmodel, use_edge_sets=use_edge_sets,
+        session=session,
     )
     return float(res.virtual_seconds), int(res.reached[0])

@@ -16,16 +16,16 @@ that claim directly by running the same k-hop on both models.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import EngineResult, PartitionTask, SuperstepEngine
+from repro.runtime.engine import EngineResult, PartitionTask
 from repro.runtime.message import MessageBatch
 from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.session import GraphSession
 
 __all__ = ["VertexContext", "VertexCentricProgram", "run_vertex_centric"]
 
@@ -168,24 +168,27 @@ def run_vertex_centric(
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
     max_supersteps: int | None = None,
+    session: GraphSession | None = None,
 ) -> tuple[np.ndarray, EngineResult]:
     """Run a Pregel-style vertex program to quiescence.
 
     Returns ``(values, engine_result)`` where ``values`` is the assembled
-    global per-vertex value vector.
+    global per-vertex value vector.  A persistent ``session`` reuses the
+    partitioned graph and cluster; task state is per-run since it is seeded
+    from the user's program instance.
     """
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-    cluster = SimCluster(pg, netmodel)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    pg = sess.pg
+    cluster = sess.cluster
+    sess.prepare()
     tasks = [_VertexTask(m, cluster, program) for m in cluster.machines]
 
     def identity_combiner(batch: MessageBatch) -> MessageBatch:
         return batch
 
-    engine = SuperstepEngine(cluster, tasks, combiner=identity_combiner)
-    result = engine.run(max_supersteps=max_supersteps)
+    result = sess.run_batch(
+        tasks, combiner=identity_combiner, max_supersteps=max_supersteps
+    )
     values = np.empty(pg.num_vertices, dtype=np.float64)
     for t in tasks:
         values[t.machine.lo : t.machine.hi] = t.values

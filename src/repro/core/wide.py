@@ -20,11 +20,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import PartitionTask, SuperstepEngine
+from repro.runtime.engine import PartitionTask
 from repro.runtime.message import MessageBatch, combine_or
 from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.session import GraphSession
 
 __all__ = ["WideBitFrontier", "WideKHopResult", "concurrent_khop_wide",
            "MAX_WIDE_BATCH"]
@@ -112,6 +113,20 @@ class _WideKHopTask(PartitionTask):
         self.level = 0
         self.state = WideBitFrontier(machine.num_local, num_queries)
 
+    def seed(self, local_vertex: int, query_index: int) -> None:
+        self.state.seed(local_vertex, query_index)
+
+    def reset(self, num_queries: int, k: int | None) -> None:
+        """Re-arm for a new batch (session task-cache reuse)."""
+        self.k = k
+        self.level = 0
+        if self.state.num_queries == num_queries:
+            self.state.frontier.fill(0)
+            self.state.next.fill(0)
+            self.state.visited.fill(0)
+        else:
+            self.state = WideBitFrontier(self.machine.num_local, num_queries)
+
     def compute(self, stats: StepStats) -> None:
         if self.k is not None and self.level >= self.k:
             return
@@ -178,27 +193,23 @@ def concurrent_khop_wide(
     k: int | None,
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
+    session: GraphSession | None = None,
 ) -> WideKHopResult:
     """Run up to 512 k-hop queries in one multi-word bit-parallel batch."""
-    if isinstance(graph, PartitionedGraph):
-        pg = graph
-    else:
-        pg = range_partition(graph, num_machines)
-    sources = np.asarray(sources, dtype=np.int64)
+    sess = GraphSession.for_run(graph, num_machines, netmodel, session)
+    cluster = sess.cluster
+    sources = sess.check_sources(sources, MAX_WIDE_BATCH)
     num_queries = int(sources.size)
-    if not 1 <= num_queries <= MAX_WIDE_BATCH:
-        raise ValueError(f"need 1..{MAX_WIDE_BATCH} sources, got {num_queries}")
-    if sources.size and (sources.min() < 0 or sources.max() >= pg.num_vertices):
-        raise ValueError("source vertex out of range")
 
-    cluster = SimCluster(pg, netmodel)
-    tasks = [_WideKHopTask(m, cluster, num_queries, k) for m in cluster.machines]
-    for q, s in enumerate(sources):
-        machine = cluster.machine_of(int(s))
-        tasks[machine.machine_id].state.seed(int(s) - machine.lo, q)
+    sess.prepare()
+    tasks = sess.tasks_for(
+        ("wide",),
+        lambda m: _WideKHopTask(m, cluster, num_queries, k),
+        lambda t: t.reset(num_queries, k),
+    )
+    sess.seed_sources(tasks, sources)
 
-    engine = SuperstepEngine(cluster, tasks, combiner=combine_or)
-    result = engine.run(max_supersteps=k)
+    result = sess.run_batch(tasks, combiner=combine_or, max_supersteps=k)
 
     reached = np.zeros(num_queries, dtype=np.int64)
     for t in tasks:

@@ -35,7 +35,7 @@ from typing import Callable
 import numpy as np
 
 from repro.graph.edgelist import EdgeList
-from repro.graph.generators import graph500_kronecker, rmat_edges, watts_strogatz
+from repro.graph.generators import rmat_edges, watts_strogatz
 
 __all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_table", "clear_cache"]
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.graph.csr import CSR, build_csc, build_csr
+from repro.graph.csr import CSR, build_csr
 from repro.graph.edgelist import EdgeList
 from repro.graph.edgeset import EdgeSetMatrix, degree_balanced_ranges
 

@@ -17,23 +17,32 @@ Layers:
 * :mod:`repro.runtime.cluster` — machines + partition placement.
 * :mod:`repro.runtime.engine` — the superstep execution engine driving
   partition tasks.
-* :mod:`repro.runtime.scheduler` — concurrent-query admission: batch mode
-  (bit-parallel) and pool mode (multi-worker FIFO), producing per-query
-  response times.
+* :mod:`repro.runtime.session` — the persistent per-graph session: the
+  partitioned graph, cluster and task state built once and reused across
+  query batches (build once, serve many).
+* :mod:`repro.runtime.scheduler` — concurrent-query admission: the online
+  :class:`~repro.runtime.scheduler.QueryService` admission loop plus the
+  offline batch/pool simulators, producing per-query response times.
 """
 
 from repro.runtime.message import MessageBatch, TaskBuffer
 from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
 from repro.runtime.cluster import Machine, SimCluster
 from repro.runtime.engine import PartitionTask, SuperstepEngine, EngineResult
+from repro.runtime.session import GraphSession
 from repro.runtime.scheduler import (
     QueryScheduler,
+    QueryService,
+    ServiceReport,
     simulate_fifo_pool,
     simulate_serialized,
     batch_response_times,
 )
 
 __all__ = [
+    "GraphSession",
+    "QueryService",
+    "ServiceReport",
     "MessageBatch",
     "TaskBuffer",
     "NetworkModel",

@@ -19,6 +19,14 @@ evaluation:
 simulation; it converts per-query service times into response times for the
 first two disciplines.  :func:`batch_response_times` maps batch-mode
 completion times back to individual queries.
+
+:class:`QueryService` is the *online* counterpart: an admission loop over a
+persistent :class:`~repro.runtime.session.GraphSession`.  Queries are
+submitted with arrival times, packed into word-wide batches (or dispatched
+to pool slots) as they arrive, and executed for real on the resident graph —
+per-query response times fall out of the engine's virtual clock instead of a
+post-hoc service-time model.  The offline simulators above stay as
+cross-checks: on identical workloads the two accountings agree.
 """
 
 from __future__ import annotations
@@ -33,6 +41,8 @@ __all__ = [
     "simulate_serialized",
     "batch_response_times",
     "QueryScheduler",
+    "QueryService",
+    "ServiceReport",
 ]
 
 
@@ -121,3 +131,215 @@ class QueryScheduler:
     def serialized(self, service_times, arrival_times=None) -> np.ndarray:
         """Gemini discipline: one query at a time."""
         return simulate_serialized(service_times, arrival_times)
+
+
+# --------------------------------------------------------------------------- #
+# Online admission: the query service
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _PendingQuery:
+    query_id: int
+    source: int
+    arrival: float
+
+
+@dataclass
+class ServiceReport:
+    """Per-query accounting for one :meth:`QueryService.drain`.
+
+    Arrays are aligned in submission order of the drained queries:
+    ``response_seconds[i] = finish_seconds[i] - arrival_seconds[i]``.
+    ``start_seconds[i]`` is when query ``i``'s batch (or pool slot) began
+    executing, so ``start - arrival`` is its queueing delay.
+    """
+
+    query_ids: np.ndarray
+    sources: np.ndarray
+    arrival_seconds: np.ndarray
+    start_seconds: np.ndarray
+    finish_seconds: np.ndarray
+    num_batches: int
+    clock_seconds: float
+
+    @property
+    def response_seconds(self) -> np.ndarray:
+        return self.finish_seconds - self.arrival_seconds
+
+    @property
+    def queueing_seconds(self) -> np.ndarray:
+        return self.start_seconds - self.arrival_seconds
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.query_ids.size)
+
+    @property
+    def mean_response(self) -> float:
+        return float(self.response_seconds.mean())
+
+    @property
+    def max_response(self) -> float:
+        return float(self.response_seconds.max())
+
+
+class QueryService:
+    """An online k-hop query service over one persistent session.
+
+    Arriving queries (``submit`` / ``submit_many``) queue until
+    :meth:`drain` runs the admission loop:
+
+    * ``discipline="batch"`` — the paper's bit-parallel mode.  At virtual
+      time ``now = max(clock, earliest pending arrival)``, up to
+      ``batch_width`` already-arrived queries are packed FIFO into one
+      64-bit-plane batch and *executed for real* on the session; a query
+      finishes at ``now`` plus its own in-batch completion offset (frontiers
+      that die early respond early), and the clock advances by the batch's
+      measured virtual seconds.
+    * ``discipline="pool"`` — the multi-worker FIFO discipline.  Each query
+      runs alone on the next free of ``concurrency`` slots, charged its
+      standalone service time (memoised per root on the session).  This is
+      by construction the same recurrence :func:`simulate_fifo_pool`
+      computes, so the offline simulator cross-checks the service exactly.
+
+    The virtual clock persists across drains — the session stays resident
+    between waves of arrivals, which is the deployment model the paper
+    evaluates (§4).
+    """
+
+    def __init__(
+        self,
+        session,
+        k: int | None,
+        discipline: str = "batch",
+        batch_width: int = 64,
+        concurrency: int | None = None,
+        use_edge_sets: bool = False,
+    ):
+        if discipline not in ("batch", "pool"):
+            raise ValueError("discipline must be 'batch' or 'pool'")
+        if not 1 <= batch_width <= 64:
+            raise ValueError("batch_width must be in [1, 64]")
+        self.session = session
+        self.k = k
+        self.discipline = discipline
+        self.batch_width = int(batch_width)
+        if concurrency is None:
+            concurrency = QueryScheduler(session.num_machines).concurrency
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.concurrency = int(concurrency)
+        self.use_edge_sets = bool(use_edge_sets)
+        self.clock = 0.0
+        self.batches_dispatched = 0
+        self._next_id = 0
+        self._pending: list[_PendingQuery] = []
+        # pool-mode worker slots: next-free virtual time per slot
+        self._slots: list[float] = [0.0] * self.concurrency
+        heapq.heapify(self._slots)
+
+    # -- submission --------------------------------------------------------- #
+
+    def submit(self, source: int, arrival: float = 0.0) -> int:
+        """Queue one query; returns its id (submission order)."""
+        if not 0 <= int(source) < self.session.num_vertices:
+            raise ValueError("source vertex out of range")
+        if arrival < 0:
+            raise ValueError("arrival time must be non-negative")
+        qid = self._next_id
+        self._next_id += 1
+        self._pending.append(_PendingQuery(qid, int(source), float(arrival)))
+        return qid
+
+    def submit_many(self, sources, arrivals=None) -> list[int]:
+        """Queue a wave of queries (``arrivals`` defaults to all-zero)."""
+        sources = np.asarray(sources, dtype=np.int64)
+        if arrivals is None:
+            arrivals = np.zeros(sources.size)
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        if arrivals.shape != sources.shape:
+            raise ValueError("arrivals must match sources")
+        return [
+            self.submit(int(s), float(a)) for s, a in zip(sources, arrivals)
+        ]
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._pending)
+
+    # -- the admission loop ------------------------------------------------- #
+
+    def drain(self) -> ServiceReport:
+        """Run every pending query to completion; returns per-query times."""
+        if not self._pending:
+            return self._report([], [], [], 0)
+        # FIFO: by arrival time, ties broken by submission order
+        queue = sorted(self._pending, key=lambda q: (q.arrival, q.query_id))
+        self._pending = []
+        if self.discipline == "batch":
+            return self._drain_batch(queue)
+        return self._drain_pool(queue)
+
+    def _drain_batch(self, queue: list[_PendingQuery]) -> ServiceReport:
+        from repro.core.khop import concurrent_khop
+
+        starts: dict[int, float] = {}
+        finishes: dict[int, float] = {}
+        num_batches = 0
+        i = 0
+        while i < len(queue):
+            now = max(self.clock, queue[i].arrival)
+            batch = [queue[i]]
+            i += 1
+            while (
+                i < len(queue)
+                and len(batch) < self.batch_width
+                and queue[i].arrival <= now
+            ):
+                batch.append(queue[i])
+                i += 1
+            res = concurrent_khop(
+                self.session.pg,
+                [q.source for q in batch],
+                self.k,
+                use_edge_sets=self.use_edge_sets,
+                session=self.session,
+            )
+            for j, q in enumerate(batch):
+                starts[q.query_id] = now
+                finishes[q.query_id] = now + float(res.completion_seconds[j])
+            self.clock = now + float(res.virtual_seconds)
+            num_batches += 1
+        self.batches_dispatched += num_batches
+        return self._report(queue, starts, finishes, num_batches)
+
+    def _drain_pool(self, queue: list[_PendingQuery]) -> ServiceReport:
+        starts: dict[int, float] = {}
+        finishes: dict[int, float] = {}
+        for q in queue:
+            slot = heapq.heappop(self._slots)
+            start = max(slot, q.arrival)
+            service = self.session.khop_service_seconds(
+                q.source, self.k, use_edge_sets=self.use_edge_sets
+            )
+            finish = start + service
+            heapq.heappush(self._slots, finish)
+            starts[q.query_id] = start
+            finishes[q.query_id] = finish
+        self.batches_dispatched += len(queue)
+        self.clock = max(self.clock, max(finishes.values()))
+        return self._report(queue, starts, finishes, len(queue))
+
+    def _report(self, queue, starts, finishes, num_batches) -> ServiceReport:
+        by_id = sorted(queue, key=lambda q: q.query_id)
+        ids = np.array([q.query_id for q in by_id], dtype=np.int64)
+        return ServiceReport(
+            query_ids=ids,
+            sources=np.array([q.source for q in by_id], dtype=np.int64),
+            arrival_seconds=np.array([q.arrival for q in by_id]),
+            start_seconds=np.array([starts[q.query_id] for q in by_id]),
+            finish_seconds=np.array([finishes[q.query_id] for q in by_id]),
+            num_batches=num_batches,
+            clock_seconds=self.clock,
+        )

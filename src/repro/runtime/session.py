@@ -1,0 +1,292 @@
+"""Persistent per-graph runtime state: build once, serve many batches.
+
+The paper's deployment model (§1, §4) is a *service*: one partitioned graph
+stays resident on the cluster while concurrent query batches and iterative
+jobs arrive against it.  Before this module existed, every entry point in
+:mod:`repro.core` rebuilt the world per call — re-partition, fresh
+:class:`~repro.runtime.cluster.SimCluster`, new task list, one-shot engine.
+:class:`GraphSession` owns that world for the session's lifetime:
+
+* the :class:`~repro.graph.partition.PartitionedGraph` (built once),
+* the :class:`SimCluster` and its :class:`~repro.runtime.netmodel.NetworkModel`,
+* optional edge-set state, the cached undirected view (k-core), and
+* per-algorithm task lists, *reset* between batches instead of reallocated.
+
+Every algorithm entry point follows the same ``prepare → seed → run →
+collect`` path on a session: :meth:`prepare` drops any queued messages
+(:meth:`SimCluster.reset_buffers` — stale inbox traffic must never leak
+into the next batch), :meth:`tasks_for` builds or re-arms one task per
+machine, the caller seeds per-query state, and :meth:`run_batch` drives the
+superstep engine.  One-shot calls construct a transient session through
+:meth:`GraphSession.for_run`, so the single code path serves both modes.
+
+Sessions are not thread-safe: one batch executes at a time (the admission
+loop in :class:`~repro.runtime.scheduler.QueryService` serialises batches
+onto the session and accounts response times on the virtual clock).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import PartitionedGraph, range_partition
+from repro.runtime.cluster import Machine, SimCluster
+from repro.runtime.engine import EngineResult, PartitionTask, SuperstepEngine
+from repro.runtime.message import combine_or
+from repro.runtime.netmodel import NetworkModel
+
+__all__ = ["GraphSession"]
+
+
+class GraphSession:
+    """The resident runtime for one graph: cluster, cost model, task state.
+
+    Parameters
+    ----------
+    graph:
+        An :class:`EdgeList` (partitioned here into ``num_machines`` ranges)
+        or a pre-partitioned :class:`PartitionedGraph` (adopted as-is).
+    num_machines:
+        Partition count when ``graph`` is an edge list.
+    netmodel:
+        Virtual-time cost model shared by every batch (calibrated default
+        if omitted).
+    edge_sets:
+        Build the blocked edge-set representation eagerly (§3.2) so
+        traversal batches can run with ``use_edge_sets=True``.
+    """
+
+    def __init__(
+        self,
+        graph: EdgeList | PartitionedGraph,
+        num_machines: int = 1,
+        netmodel: NetworkModel | None = None,
+        edge_sets: bool = False,
+        sets_per_partition: int = 8,
+        consolidate_min_edges: int | None = None,
+    ):
+        if isinstance(graph, PartitionedGraph):
+            self.pg = graph
+        else:
+            self.pg = range_partition(graph, num_machines)
+        if edge_sets:
+            self.build_edge_sets(sets_per_partition, consolidate_min_edges)
+        self.netmodel = netmodel or NetworkModel()
+        self.cluster = SimCluster(self.pg, self.netmodel)
+        self.batches_run = 0
+        self._task_cache: dict[tuple, list[PartitionTask]] = {}
+        self._undirected_pg: PartitionedGraph | None = None
+        self._service_cache: dict[tuple, float] = {}
+
+    # -- construction helpers ---------------------------------------------- #
+
+    @classmethod
+    def for_run(
+        cls,
+        graph: "EdgeList | PartitionedGraph | GraphSession",
+        num_machines: int = 1,
+        netmodel: NetworkModel | None = None,
+        session: "GraphSession | None" = None,
+    ) -> "GraphSession":
+        """Resolve the session one entry-point call runs on.
+
+        An explicit ``session`` (or a session passed as the graph) is reused
+        — its graph, cluster and network model win over the other arguments.
+        Otherwise a transient session is built, which is exactly the old
+        rebuild-per-call behaviour.
+        """
+        if session is not None:
+            return session
+        if isinstance(graph, GraphSession):
+            return graph
+        return cls(graph, num_machines=num_machines, netmodel=netmodel)
+
+    # -- structure --------------------------------------------------------- #
+
+    @property
+    def num_vertices(self) -> int:
+        return self.pg.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.pg.num_edges
+
+    @property
+    def num_machines(self) -> int:
+        return self.pg.num_partitions
+
+    @property
+    def has_edge_sets(self) -> bool:
+        return all(p.edge_sets is not None for p in self.pg.partitions)
+
+    def build_edge_sets(
+        self, sets_per_partition: int = 8, consolidate_min_edges: int | None = None
+    ) -> None:
+        """Tile partitions into LLC-sized edge-sets (§3.2), once."""
+        if any(p.edge_sets is None for p in self.pg.partitions):
+            self.pg.build_edge_sets(sets_per_partition, consolidate_min_edges)
+
+    def undirected_pg(self) -> PartitionedGraph:
+        """The partitioned undirected simple view, built once (k-core)."""
+        if self._undirected_pg is None:
+            simple = (
+                self.pg.edges.symmetrize().remove_self_loops().deduplicate()
+            )
+            self._undirected_pg = range_partition(simple, self.num_machines)
+        return self._undirected_pg
+
+    # -- the prepare → seed → run path -------------------------------------- #
+
+    def prepare(self) -> None:
+        """Reset shared cluster state before a batch.
+
+        Drops any queued inbox/outbox messages so traffic from a previous
+        (possibly aborted) batch can never leak into this one.
+        """
+        self.cluster.reset_buffers()
+
+    def check_sources(self, sources, max_width: int) -> np.ndarray:
+        """Validate a batch's source vertices against the resident graph."""
+        sources = np.asarray(sources, dtype=np.int64)
+        num_queries = int(sources.size)
+        if not 1 <= num_queries <= max_width:
+            raise ValueError(
+                f"need 1..{max_width} sources, got {num_queries}"
+            )
+        if sources.min() < 0 or sources.max() >= self.pg.num_vertices:
+            raise ValueError("source vertex out of range")
+        return sources
+
+    def tasks_for(
+        self,
+        cache_key: tuple | None,
+        factory: Callable[[Machine], PartitionTask],
+        reset: Callable[[PartitionTask], None] | None = None,
+    ) -> list[PartitionTask]:
+        """One task per machine: built on first use, *reset* on reuse.
+
+        With a ``cache_key`` and a ``reset`` callable, the task list built
+        for that key on a previous batch is re-armed in place (frontier
+        planes zeroed, level counters rewound) instead of reallocated.
+        Without them the tasks are rebuilt every call.
+        """
+        if cache_key is not None and reset is not None:
+            cached = self._task_cache.get(cache_key)
+            if cached is not None:
+                for task in cached:
+                    reset(task)
+                return cached
+        tasks = [factory(m) for m in self.cluster.machines]
+        if cache_key is not None and reset is not None:
+            self._task_cache[cache_key] = tasks
+        return tasks
+
+    def seed_sources(self, tasks: list[PartitionTask], sources: np.ndarray) -> None:
+        """Place query ``q``'s source on its owning machine's task."""
+        owners = self.cluster.owner_of(sources)
+        bounds = self.pg.bounds[owners]
+        for q, (s, o, lo) in enumerate(zip(sources, owners, bounds)):
+            tasks[int(o)].seed(int(s) - int(lo), q)
+
+    def run_batch(
+        self,
+        tasks: list[PartitionTask],
+        combiner=combine_or,
+        asynchronous: bool = False,
+        parallel_compute: bool = False,
+        max_supersteps: int | None = None,
+        on_step=None,
+    ) -> EngineResult:
+        """Drive one batch of seeded tasks to quiescence on the cluster."""
+        engine = SuperstepEngine(
+            self.cluster,
+            tasks,
+            combiner=combiner,
+            asynchronous=asynchronous,
+            parallel_compute=parallel_compute,
+        )
+        result = engine.run(max_supersteps=max_supersteps, on_step=on_step)
+        self.batches_run += 1
+        return result
+
+    # -- algorithm conveniences (lazy imports: core depends on runtime) ----- #
+
+    def khop(self, sources, k: int | None, **kwargs):
+        """One bit-parallel batch of up to 64 concurrent k-hop queries."""
+        from repro.core.khop import concurrent_khop
+
+        return concurrent_khop(self.pg, sources, k, session=self, **kwargs)
+
+    def bfs(self, sources, **kwargs):
+        """Concurrent full BFS (the k → ∞ case) on the resident graph."""
+        return self.khop(sources, None, **kwargs)
+
+    def khop_stream(self, sources, k: int | None, **kwargs):
+        """A stream of any number of queries, batched word-wide."""
+        from repro.core.batch import run_query_stream
+
+        return run_query_stream(self.pg, sources, k, session=self, **kwargs)
+
+    def reach(self, sources, targets, k: int | None, **kwargs):
+        """Pairwise s → t within-k reachability on the resident graph."""
+        from repro.core.reachability import reachability_queries
+
+        return reachability_queries(
+            self.pg, sources, targets, k, session=self, **kwargs
+        )
+
+    def gas(self, program, iterations: int, **kwargs):
+        """Run a GAS vertex program on the resident graph."""
+        from repro.core.gas import run_gas
+
+        return run_gas(self.pg, program, iterations, session=self, **kwargs)
+
+    def pagerank(self, **kwargs):
+        """Listing 3's PageRank on the resident graph."""
+        from repro.core.pagerank import pagerank
+
+        return pagerank(self.pg, session=self, **kwargs)
+
+    def sssp(self, source: int, **kwargs):
+        """Weighted single-source shortest paths on the resident graph."""
+        from repro.core.sssp import sssp
+
+        return sssp(self.pg, source, session=self, **kwargs)
+
+    def multi_sssp(self, sources, **kwargs):
+        """Concurrent weighted multi-query SSSP on the resident graph."""
+        from repro.core.multi_sssp import concurrent_sssp
+
+        return concurrent_sssp(self.pg, sources, session=self, **kwargs)
+
+    def core_numbers(self, **kwargs):
+        """Coreness on the cached undirected view of the resident graph."""
+        from repro.core.kcore import core_numbers
+
+        return core_numbers(self.pg, session=self, **kwargs)
+
+    def khop_service_seconds(
+        self, source: int, k: int | None, use_edge_sets: bool = False
+    ) -> float:
+        """Standalone virtual service time of one k-hop query, memoised.
+
+        Service time is a deterministic function of ``(root, k)`` on the
+        resident graph, so the response-time experiments re-cost repeated
+        roots from this cache instead of re-traversing.
+        """
+        key = (int(source), k, use_edge_sets)
+        cached = self._service_cache.get(key)
+        if cached is None:
+            res = self.khop([int(source)], k, use_edge_sets=use_edge_sets)
+            cached = float(res.virtual_seconds)
+            self._service_cache[key] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSession(n={self.num_vertices}, m={self.num_edges}, "
+            f"machines={self.num_machines}, batches_run={self.batches_run})"
+        )

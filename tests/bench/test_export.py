@@ -8,7 +8,6 @@ import pytest
 
 from repro.bench import experiments as E
 from repro.bench.export import export_result, result_rows, write_csv, write_json
-from repro.bench.timing import ResponseTimes
 from repro.graph.datasets import clear_cache
 
 TINY = 0.02

@@ -11,7 +11,7 @@ from repro.bench.timing import (
     percentile,
 )
 from repro.bench.workload import QueryWorkload, random_sources
-from repro.graph import EdgeList, star_graph
+from repro.graph import EdgeList
 
 
 class TestRandomSources:

@@ -5,7 +5,6 @@ checks it against the optimised engine — proving the abstraction is
 sufficient to express the paper's own example.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines.oracle import oracle_khop_reach

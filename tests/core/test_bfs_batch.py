@@ -1,6 +1,5 @@
 """Tests for concurrent BFS and query-stream batching."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.oracle import oracle_bfs_levels, oracle_khop_reach

@@ -1,7 +1,5 @@
 """Tests for the CGraph facade and the Traverse operator."""
 
-import numpy as np
-import pytest
 
 from repro.baselines.oracle import oracle_khop_reach
 from repro.core.cgraph import CGraph

@@ -6,7 +6,7 @@ import pytest
 from repro.baselines.oracle import oracle_pagerank
 from repro.core.gas import VertexProgram, run_gas
 from repro.core.pagerank import PageRankProgram, pagerank
-from repro.graph import EdgeList, complete_graph, path_graph, star_graph
+from repro.graph import EdgeList, complete_graph, star_graph
 
 
 class MinLabelProgram(VertexProgram):

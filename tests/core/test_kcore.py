@@ -1,7 +1,6 @@
 """Tests for k-core decomposition and the vectorised H-index kernel."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

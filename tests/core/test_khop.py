@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.baselines.naive import naive_distributed_khop, naive_khop
 from repro.baselines.oracle import oracle_khop_reach
 from repro.core.khop import concurrent_khop
-from repro.graph import EdgeList, path_graph, range_partition, rmat_edges, star_graph
+from repro.graph import EdgeList, path_graph, range_partition
 
 
 class TestSingleQuery:

@@ -6,9 +6,8 @@ import pytest
 from repro.core.khop import concurrent_khop
 from repro.core.ooc import concurrent_khop_out_of_core
 from repro.graph import range_partition
-from repro.graph.edgeset import degree_balanced_ranges
 from repro.graph.outofcore import SpillableEdgeSetStore
-from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.netmodel import StepStats
 
 
 @pytest.fixture

@@ -1,7 +1,5 @@
 """Tests for shortest-hop path extraction ("found paths", §4.2)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

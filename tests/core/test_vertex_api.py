@@ -11,7 +11,7 @@ from repro.core.vertex_api import (
     VertexContext,
     run_vertex_centric,
 )
-from repro.graph import EdgeList, path_graph, star_graph
+from repro.graph import EdgeList, path_graph
 
 
 class BFSVertexProgram(VertexCentricProgram):

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph import EdgeSetMatrix, degree_balanced_ranges
-from repro.graph.csr import build_csr
 
 
 def _matrix_from_edges(pairs, n, row_blocks=2, col_blocks=2, weights=None):

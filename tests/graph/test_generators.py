@@ -1,6 +1,5 @@
 """Unit tests for the synthetic graph generators."""
 
-import numpy as np
 import pytest
 
 from repro.graph import (

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.khop import concurrent_khop
-from repro.graph import EdgeList, path_graph, star_graph
+from repro.graph import EdgeList, path_graph
 from repro.graph.validation import assert_valid_khop, validate_khop_depths
 
 

@@ -3,12 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.graph import EdgeList, range_partition
+from repro.graph import range_partition
 from repro.runtime.cluster import SimCluster
 from repro.runtime.comm import deliver_async, exchange_sync
 from repro.runtime.engine import PartitionTask, SuperstepEngine
 from repro.runtime.message import MessageBatch
-from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.netmodel import StepStats
 
 
 def _cluster(tiny_graph, p=2):

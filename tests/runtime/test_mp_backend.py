@@ -1,6 +1,5 @@
 """Tests for the real multi-process execution backend."""
 
-import numpy as np
 import pytest
 
 from repro.core.khop import concurrent_khop

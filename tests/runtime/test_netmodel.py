@@ -1,6 +1,5 @@
 """Unit tests for the network cost model and virtual clock."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

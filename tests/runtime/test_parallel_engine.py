@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.gas import run_gas
 from repro.core.khop import concurrent_khop
 from repro.core.pagerank import pagerank
 from repro.graph import range_partition

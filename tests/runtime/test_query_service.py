@@ -1,0 +1,199 @@
+"""QueryService: the online admission loop over a resident GraphSession.
+
+The service must (a) produce the same FIFO-pool recurrence the offline
+``simulate_fifo_pool`` simulator computes, (b) run the batch discipline on
+*real* engine executions whose completion offsets order responses within a
+batch, and (c) keep its virtual clock across drains — one session, many
+waves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.traversal import khop_service_time
+from repro.graph.generators import rmat_edges
+from repro.runtime.scheduler import (
+    QueryScheduler,
+    QueryService,
+    simulate_fifo_pool,
+)
+from repro.runtime.session import GraphSession
+
+
+@pytest.fixture(scope="module")
+def session():
+    edges = rmat_edges(9, 4000, seed=13)
+    return GraphSession(edges, num_machines=3)
+
+
+def _sources(session, n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, session.num_vertices, n)
+
+
+class TestPoolDiscipline:
+    def test_agrees_with_offline_simulator(self, session):
+        """The online pool is the exact recurrence simulate_fifo_pool runs."""
+        sources = _sources(session, 50, 0)
+        rng = np.random.default_rng(1)
+        arrivals = np.sort(rng.uniform(0.0, 2.0, sources.size))
+        svc = QueryService(session, k=3, discipline="pool", concurrency=4)
+        svc.submit_many(sources, arrivals)
+        report = svc.drain()
+
+        service_times = np.array(
+            [session.khop_service_seconds(int(s), 3) for s in sources]
+        )
+        offline = simulate_fifo_pool(service_times, 4, arrivals)
+        np.testing.assert_allclose(report.response_seconds, offline, atol=1e-12)
+
+    def test_serialized_is_width_one_pool(self, session):
+        sources = _sources(session, 10, 2)
+        svc = QueryService(session, k=2, discipline="pool", concurrency=1)
+        svc.submit_many(sources)
+        report = svc.drain()
+        service_times = np.array(
+            [session.khop_service_seconds(int(s), 2) for s in sources]
+        )
+        np.testing.assert_allclose(
+            report.finish_seconds, np.cumsum(service_times), atol=1e-12
+        )
+
+    def test_default_concurrency_matches_scheduler(self, session):
+        svc = QueryService(session, k=2, discipline="pool")
+        assert svc.concurrency == QueryScheduler(session.num_machines).concurrency
+
+    def test_service_times_match_standalone_queries(self, session):
+        """The memoised per-root cost is a real one-query engine run."""
+        for s in _sources(session, 5, 3):
+            expected, _ = khop_service_time(session.pg, int(s), 3,
+                                            session=session)
+            assert session.khop_service_seconds(int(s), 3) == expected
+
+
+class TestBatchDiscipline:
+    def test_burst_packs_into_one_batch(self, session):
+        sources = _sources(session, 40, 4)
+        svc = QueryService(session, k=3, discipline="batch")
+        svc.submit_many(sources)
+        report = svc.drain()
+        assert report.num_batches == 1
+        # everyone starts together; finishes are staggered by frontier death
+        assert np.all(report.start_seconds == 0.0)
+        assert report.max_response <= svc.clock + 1e-12
+
+    def test_batch_width_splits_burst(self, session):
+        sources = _sources(session, 40, 5)
+        svc = QueryService(session, k=3, discipline="batch", batch_width=16)
+        svc.submit_many(sources)
+        report = svc.drain()
+        assert report.num_batches == 3  # ceil(40 / 16)
+        # later batches wait for the clock: queueing grows monotonically
+        # across batch boundaries (FIFO admission)
+        q = report.queueing_seconds
+        assert q[0] == 0.0
+        assert q[-1] > 0.0
+
+    def test_late_arrival_waits_for_its_arrival(self, session):
+        svc = QueryService(session, k=2, discipline="batch")
+        src = int(_sources(session, 1, 6)[0])
+        svc.submit(src, arrival=0.0)
+        svc.submit(src, arrival=1e6)  # far after the first batch finishes
+        report = svc.drain()
+        assert report.num_batches == 2
+        assert report.start_seconds[1] == 1e6
+        # an idle service responds identically whenever the query arrives
+        np.testing.assert_allclose(
+            report.response_seconds[0], report.response_seconds[1], atol=1e-12
+        )
+
+    def test_matches_one_shot_completion_offsets(self, session):
+        """A single drained batch is literally one concurrent_khop run."""
+        from repro.core.khop import concurrent_khop
+
+        sources = _sources(session, 20, 7)
+        one_shot = concurrent_khop(session.pg, sources, 3, session=session)
+        svc = QueryService(session, k=3, discipline="batch")
+        svc.submit_many(sources)
+        report = svc.drain()
+        np.testing.assert_array_equal(
+            report.response_seconds, one_shot.completion_seconds
+        )
+        assert svc.clock == one_shot.virtual_seconds
+
+
+class TestServiceLifecycle:
+    def test_clock_persists_across_drains(self, session):
+        svc = QueryService(session, k=2, discipline="batch")
+        svc.submit_many(_sources(session, 8, 8))
+        first = svc.drain()
+        clock_after_first = svc.clock
+        assert clock_after_first > 0.0
+        # wave 2 arrives "now" (at the current clock) — no artificial idle gap
+        svc.submit_many(_sources(session, 8, 9),
+                        np.full(8, clock_after_first))
+        second = svc.drain()
+        assert np.all(second.start_seconds >= clock_after_first)
+        assert svc.clock > clock_after_first
+        assert first.num_queries == second.num_queries == 8
+
+    def test_query_ids_are_global(self, session):
+        svc = QueryService(session, k=2, discipline="pool")
+        ids1 = svc.submit_many(_sources(session, 3, 10))
+        svc.drain()
+        ids2 = svc.submit_many(_sources(session, 3, 11))
+        assert ids1 == [0, 1, 2]
+        assert ids2 == [3, 4, 5]
+
+    def test_empty_drain(self, session):
+        svc = QueryService(session, k=2)
+        report = svc.drain()
+        assert report.num_queries == 0
+        assert report.num_batches == 0
+        assert svc.clock == 0.0
+
+    def test_report_accounting_identities(self, session):
+        sources = _sources(session, 12, 12)
+        svc = QueryService(session, k=3, discipline="pool", concurrency=2)
+        svc.submit_many(sources)
+        r = svc.drain()
+        np.testing.assert_allclose(
+            r.response_seconds, r.finish_seconds - r.arrival_seconds
+        )
+        np.testing.assert_allclose(
+            r.queueing_seconds, r.start_seconds - r.arrival_seconds
+        )
+        assert r.mean_response == pytest.approx(r.response_seconds.mean())
+        assert r.max_response == pytest.approx(r.response_seconds.max())
+        assert r.clock_seconds == svc.clock
+
+
+class TestValidation:
+    def test_bad_discipline(self, session):
+        with pytest.raises(ValueError, match="discipline"):
+            QueryService(session, k=2, discipline="lifo")
+
+    def test_bad_batch_width(self, session):
+        with pytest.raises(ValueError, match="batch_width"):
+            QueryService(session, k=2, batch_width=65)
+        with pytest.raises(ValueError, match="batch_width"):
+            QueryService(session, k=2, batch_width=0)
+
+    def test_bad_concurrency(self, session):
+        with pytest.raises(ValueError, match="concurrency"):
+            QueryService(session, k=2, discipline="pool", concurrency=0)
+
+    def test_bad_source(self, session):
+        svc = QueryService(session, k=2)
+        with pytest.raises(ValueError, match="out of range"):
+            svc.submit(session.num_vertices)
+
+    def test_bad_arrival(self, session):
+        svc = QueryService(session, k=2)
+        with pytest.raises(ValueError, match="arrival"):
+            svc.submit(0, arrival=-1.0)
+
+    def test_mismatched_arrivals(self, session):
+        svc = QueryService(session, k=2)
+        with pytest.raises(ValueError, match="arrivals"):
+            svc.submit_many([0, 1], [0.0])

@@ -1,0 +1,214 @@
+"""GraphSession: persistent runtime state reused across query batches.
+
+The session contract has three load-bearing properties:
+
+1. **bit-identical reuse** — a batch run on a long-lived session returns
+   exactly the same answers as a one-shot call that rebuilds the world,
+   on every execution backend (serial, parallel compute, async delivery);
+2. **isolation between batches** — no state (frontier planes, inbox
+   messages, level counters) leaks from one batch into the next;
+3. **reuse actually happens** — task lists and the undirected view are
+   cached, and buffers are reset rather than reallocated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gas import run_gas
+from repro.core.khop import concurrent_khop
+from repro.core.multi_sssp import concurrent_sssp
+from repro.core.pagerank import PageRankProgram, pagerank
+from repro.core.reachability import reachability_queries
+from repro.graph.generators import rmat_edges
+from repro.runtime.message import MessageBatch
+from repro.runtime.session import GraphSession
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_edges(9, 4000, seed=11)
+
+
+@pytest.fixture()
+def session(graph):
+    return GraphSession(graph, num_machines=3)
+
+
+def _roots(graph, n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, graph.num_vertices, n)
+
+
+class TestBitIdenticalReuse:
+    """Session-reused runs must match one-shot runs exactly, all backends."""
+
+    @pytest.mark.parametrize(
+        "backend_kwargs",
+        [
+            {},
+            {"parallel_compute": True},
+            {"asynchronous": True},
+        ],
+        ids=["serial", "parallel_compute", "async"],
+    )
+    def test_khop_matches_one_shot(self, graph, session, backend_kwargs):
+        for batch, seed in ((17, 0), (64, 1), (5, 2)):
+            roots = _roots(graph, batch, seed)
+            one_shot = concurrent_khop(
+                graph, roots, 3, num_machines=3, **backend_kwargs
+            )
+            reused = concurrent_khop(
+                graph, roots, 3, session=session, **backend_kwargs
+            )
+            np.testing.assert_array_equal(one_shot.reached, reused.reached)
+            np.testing.assert_array_equal(
+                one_shot.completion_level, reused.completion_level
+            )
+            assert one_shot.virtual_seconds == reused.virtual_seconds
+            assert one_shot.total_edges_scanned == reused.total_edges_scanned
+
+    @pytest.mark.parametrize(
+        "backend_kwargs",
+        [
+            {},
+            {"parallel_compute": True},
+            {"asynchronous": True},
+        ],
+        ids=["serial", "parallel_compute", "async"],
+    )
+    def test_gas_pagerank_matches_one_shot(self, graph, session, backend_kwargs):
+        for _ in range(2):  # second run exercises the cached task list
+            one_shot = pagerank(
+                graph, iterations=5, num_machines=3, **backend_kwargs
+            )
+            reused = pagerank(
+                graph, iterations=5, session=session, **backend_kwargs
+            )
+            np.testing.assert_array_equal(one_shot.values, reused.values)
+            assert one_shot.virtual_seconds == reused.virtual_seconds
+
+    def test_khop_depths_match(self, graph, session):
+        roots = _roots(graph, 32, 3)
+        one = concurrent_khop(graph, roots, None, num_machines=3,
+                              record_depths=True)
+        two = concurrent_khop(graph, roots, None, record_depths=True,
+                              session=session)
+        np.testing.assert_array_equal(one.depths, two.depths)
+
+    def test_reachability_matches(self, graph, session):
+        s = _roots(graph, 20, 4)
+        t = _roots(graph, 20, 5)
+        one = reachability_queries(graph, s, t, 4, num_machines=3)
+        two = reachability_queries(graph, s, t, 4, session=session)
+        np.testing.assert_array_equal(one.reachable, two.reachable)
+        np.testing.assert_array_equal(one.hops, two.hops)
+
+    def test_multi_sssp_matches(self, graph, session):
+        weighted = graph.with_unit_weights()
+        wsess = GraphSession(weighted, num_machines=3)
+        roots = _roots(graph, 10, 6)
+        one = concurrent_sssp(weighted, roots, max_hops=4, num_machines=3)
+        two = concurrent_sssp(weighted, roots, max_hops=4, session=wsess)
+        np.testing.assert_array_equal(one.distances, two.distances)
+
+    def test_many_batches_deterministic(self, graph, session):
+        """Back-to-back batches on one session never drift."""
+        roots = _roots(graph, 64, 7)
+        first = concurrent_khop(graph, roots, 3, session=session)
+        for _ in range(5):
+            again = concurrent_khop(graph, roots, 3, session=session)
+            np.testing.assert_array_equal(first.reached, again.reached)
+            assert first.virtual_seconds == again.virtual_seconds
+
+
+class TestBatchIsolation:
+    def test_stale_inbox_never_leaks(self, graph, session):
+        """Messages queued by an aborted batch must not corrupt the next.
+
+        Regression test for SimCluster.reset_buffers being dead code: we
+        plant a poison message in every machine's inbox (as an aborted or
+        crashed batch would leave behind) and check the next batch's
+        results are untouched.
+        """
+        roots = _roots(graph, 16, 8)
+        clean = concurrent_khop(graph, roots, 3, session=session)
+        for m in session.cluster.machines:
+            poison = MessageBatch(
+                np.arange(m.lo, min(m.hi, m.lo + 4), dtype=np.int64),
+                np.full(min(4, m.num_local), np.uint64(0xFFFFFFFFFFFFFFFF)),
+            )
+            m.inbox.append(m.machine_id, poison)
+        after = concurrent_khop(graph, roots, 3, session=session)
+        np.testing.assert_array_equal(clean.reached, after.reached)
+        assert clean.virtual_seconds == after.virtual_seconds
+
+    def test_prepare_drops_outbox_too(self, session):
+        m = session.cluster.machines[0]
+        m.outbox.append(1, MessageBatch(np.array([0]), np.array([1.0])))
+        session.prepare()
+        assert m.outbox.take_all() == {}
+        assert m.inbox.take_all() == {}
+
+    def test_narrow_then_wide_batch(self, graph, session):
+        """A narrower batch after a wider one must not see old query bits."""
+        wide = _roots(graph, 64, 9)
+        concurrent_khop(graph, wide, 3, session=session)
+        narrow = wide[:3]
+        one_shot = concurrent_khop(graph, narrow, 3, num_machines=3)
+        reused = concurrent_khop(graph, narrow, 3, session=session)
+        np.testing.assert_array_equal(one_shot.reached, reused.reached)
+
+
+class TestStateReuse:
+    def test_task_lists_are_cached(self, graph, session):
+        roots = _roots(graph, 8, 10)
+        concurrent_khop(graph, roots, 2, session=session)
+        tasks_first = session._task_cache[("khop", False)]
+        concurrent_khop(graph, roots, 2, session=session)
+        assert session._task_cache[("khop", False)] is tasks_first
+
+    def test_batches_run_counter(self, graph, session):
+        before = session.batches_run
+        roots = _roots(graph, 8, 11)
+        concurrent_khop(graph, roots, 2, session=session)
+        assert session.batches_run == before + 1
+
+    def test_undirected_view_cached(self, graph, session):
+        assert session.undirected_pg() is session.undirected_pg()
+
+    def test_service_seconds_memoised(self, graph, session):
+        t1 = session.khop_service_seconds(0, 3)
+        before = session.batches_run
+        t2 = session.khop_service_seconds(0, 3)
+        assert t1 == t2
+        assert session.batches_run == before  # no re-traversal
+
+    def test_for_run_resolution(self, graph, session):
+        assert GraphSession.for_run(graph, 3, None, session) is session
+        assert GraphSession.for_run(session) is session
+        transient = GraphSession.for_run(graph, 2)
+        assert transient is not session
+        assert transient.num_machines == 2
+
+    def test_session_convenience_methods(self, graph, session):
+        res = session.khop([0, 1], 2)
+        assert res.num_queries == 2
+        run = session.pagerank(iterations=2)
+        assert run.values.size == graph.num_vertices
+
+    def test_check_sources_validation(self, session):
+        with pytest.raises(ValueError, match="sources"):
+            session.check_sources([], 64)
+        with pytest.raises(ValueError, match="out of range"):
+            session.check_sources([session.num_vertices], 64)
+
+
+class TestGasIsolation:
+    def test_different_programs_share_cached_structure(self, graph, session):
+        """Two GAS runs with different programs reuse the structural task
+        precompute but never each other's values."""
+        one = run_gas(graph, PageRankProgram(damping=0.85), 4, session=session)
+        other = run_gas(graph, PageRankProgram(damping=0.5), 4, session=session)
+        again = run_gas(graph, PageRankProgram(damping=0.85), 4, session=session)
+        assert not np.array_equal(one.values, other.values)
+        np.testing.assert_array_equal(one.values, again.values)

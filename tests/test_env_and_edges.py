@@ -1,7 +1,6 @@
 """Environment-variable behaviour and remaining cross-cutting edge cases."""
 
 import numpy as np
-import pytest
 
 from repro.graph.datasets import clear_cache, load_dataset, runtime_scale
 

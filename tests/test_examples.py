@@ -6,8 +6,6 @@ fastest one actually executes end to end.
 """
 
 import ast
-import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -5,10 +5,9 @@ and adversarial graph shapes end to end, spanning graph/runtime/core/bench.
 """
 
 import numpy as np
-import pytest
 
 from repro import CGraph
-from repro.baselines.oracle import oracle_khop_reach, oracle_pagerank
+from repro.baselines.oracle import oracle_khop_reach
 from repro.bench.timing import ResponseTimes
 from repro.bench.workload import QueryWorkload
 from repro.core.khop import concurrent_khop
