@@ -16,6 +16,8 @@ Public entry points:
   datasets, analysis).
 * :mod:`repro.runtime` -- the simulated distributed runtime and its cost
   model.
+* :mod:`repro.index` -- the pruned distance-label reachability index and
+  the hybrid index/traversal query planner.
 * :mod:`repro.baselines` -- Titan-like graph DB, Gemini-like serialized
   engine, the naive queue traversal, and networkx oracles.
 * :mod:`repro.bench` -- workload generation and the per-figure experiment
@@ -33,6 +35,7 @@ from repro.core import (
     sssp,
     triangle_count,
 )
+from repro.index import HubLabels, IndexPlanner, build_hub_labels
 from repro.runtime.netmodel import NetworkModel
 from repro.runtime.scheduler import QueryService
 from repro.runtime.session import GraphSession
@@ -52,5 +55,8 @@ __all__ = [
     "sssp",
     "triangle_count",
     "NetworkModel",
+    "HubLabels",
+    "IndexPlanner",
+    "build_hub_labels",
     "__version__",
 ]

@@ -63,6 +63,7 @@ __all__ = [
     "ablation_wide_batches",
     "per_query_service_seconds",
     "session_reuse",
+    "index_vs_traversal",
 ]
 
 PAPER_BINS = np.arange(0.0, 2.2, 0.2)  # the Fig 11/12 histogram bins (seconds)
@@ -1064,4 +1065,148 @@ def session_reuse(
         one_shot_per_batch=one_shot_times,
         session_per_batch=session_times,
         session_build_s=build,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Index vs traversal: point-query workloads on the hybrid planner
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class IndexVsTraversalResult:
+    """One point-query workload answered both ways on one resident session.
+
+    The traversal side packs the ``(s, t)`` pairs into word-wide
+    early-terminating reachability batches (the engine's best
+    configuration for point queries); the index side answers the whole
+    workload with one vectorised label intersection after its one-time
+    build (reported separately, never folded into the per-query cost).
+    The driver asserts both sides return bit-identical verdicts.
+    """
+
+    dataset: str
+    num_pairs: int
+    k: int | None
+    num_machines: int
+    index_build_s: float
+    index_answer_s: float
+    traversal_answer_s: float
+    index_virtual_s: float
+    traversal_virtual_s: float
+    label_entries: int
+    mean_label_size: float
+    reachable_fraction: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock answering speedup, excluding the one-time build."""
+        return self.traversal_answer_s / max(self.index_answer_s, 1e-12)
+
+    @property
+    def virtual_speedup(self) -> float:
+        """Virtual-time speedup under the shared calibrated cost model."""
+        return self.traversal_virtual_s / max(self.index_virtual_s, 1e-12)
+
+    @property
+    def rows(self) -> list[dict]:
+        per_pair = 1e6 / max(self.num_pairs, 1)
+        return [
+            {
+                "strategy": "traversal (64-wide batches)",
+                "wall_s": round(self.traversal_answer_s, 6),
+                "virtual_s": round(self.traversal_virtual_s, 9),
+                "per_query_wall_us": round(
+                    self.traversal_answer_s * per_pair, 3
+                ),
+            },
+            {
+                "strategy": "index (label intersection)",
+                "wall_s": round(self.index_answer_s, 6),
+                "virtual_s": round(self.index_virtual_s, 9),
+                "per_query_wall_us": round(self.index_answer_s * per_pair, 3),
+            },
+            {
+                "strategy": "index build (one-time)",
+                "wall_s": round(self.index_build_s, 6),
+                "virtual_s": 0.0,
+                "per_query_wall_us": 0.0,
+            },
+        ]
+
+    def report(self) -> str:
+        budget = "unbounded" if self.k is None else f"k={self.k}"
+        table = format_table(
+            self.rows,
+            title=(
+                f"Index vs traversal: {self.num_pairs} point reachability "
+                f"queries ({budget}) on {self.dataset}"
+            ),
+        )
+        return (
+            f"{table}\n"
+            f"index: {self.label_entries} label entries "
+            f"(mean {self.mean_label_size:.1f}/vertex/direction), "
+            f"built once in {self.index_build_s:.3f} s\n"
+            f"answering speedup: {self.speedup:.1f}x wall clock, "
+            f"{self.virtual_speedup:.1f}x virtual time "
+            f"({100 * self.reachable_fraction:.0f}% of pairs reachable)"
+        )
+
+
+def index_vs_traversal(
+    dataset: str = "OR-100M",
+    num_pairs: int = 256,
+    k: int | None = 3,
+    num_machines: int = 3,
+    scale: float | None = None,
+    seed: int = 21,
+) -> IndexVsTraversalResult:
+    """Answer a point-query workload via traversal and via the index.
+
+    Both strategies run on the same resident :class:`GraphSession`; the
+    index is built once on it (``session.index()``), exactly the hybrid
+    deployment the service layer's ``planner="hybrid"`` mode runs online.
+    """
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    sess = GraphSession(el, num_machines=num_machines, netmodel=nm)
+    sources = random_sources(el, num_pairs, seed=seed)
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(0, el.num_vertices, size=num_pairs)
+
+    trav_verdicts = []
+    trav_virtual = 0.0
+    t0 = time.perf_counter()
+    for i in range(0, num_pairs, 64):
+        res = sess.reach(sources[i : i + 64], targets[i : i + 64], k)
+        trav_verdicts.append(res.reachable)
+        trav_virtual += res.virtual_seconds
+    traversal_answer_s = time.perf_counter() - t0
+    trav_verdicts = np.concatenate(trav_verdicts)
+
+    build = sess.index_build()
+    planner = sess.index_planner()
+    t0 = time.perf_counter()
+    answer = planner.answer(sources, targets, k)
+    index_answer_s = time.perf_counter() - t0
+
+    if not np.array_equal(answer.reachable, trav_verdicts):
+        raise AssertionError(
+            "index verdicts diverged from the traversal engine"
+        )
+
+    return IndexVsTraversalResult(
+        dataset=dataset,
+        num_pairs=num_pairs,
+        k=k,
+        num_machines=num_machines,
+        index_build_s=build.build_seconds,
+        index_answer_s=index_answer_s,
+        traversal_answer_s=traversal_answer_s,
+        index_virtual_s=answer.total_seconds,
+        traversal_virtual_s=trav_virtual,
+        label_entries=build.labels.num_entries,
+        mean_label_size=build.labels.mean_label_size,
+        reachable_fraction=float(answer.reachable.mean()),
     )

@@ -11,6 +11,8 @@ regenerate any evaluation figure:
    $ python -m repro reach --dataset OR-100M --pairs 8 --k 4
    $ python -m repro pagerank --dataset OR-100M --iterations 10 --machines 4
    $ python -m repro service --dataset OR-100M --queries 100 --k 3 --rate 500
+   $ python -m repro index build --dataset OR-100M --save or100m.npz
+   $ python -m repro index query --dataset OR-100M --source 5 --target 99 --k 3
    $ python -m repro hopplot --dataset SLASHDOT-ZOO
    $ python -m repro experiment fig10 --scale 0.2
 
@@ -46,6 +48,8 @@ EXPERIMENTS = {
     "ablation-wide": "ablation_wide_batches",
     "ablation-async": "ablation_async",
     "ablation-memory": "ablation_memory",
+    "session-reuse": "session_reuse",
+    "index-vs-traversal": "index_vs_traversal",
 }
 
 
@@ -122,6 +126,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--discipline", choices=["batch", "pool"], default="batch")
     p.add_argument("--batch-width", type=int, default=64)
     p.add_argument("--edge-sets", action="store_true")
+    p.add_argument("--planner", choices=["traversal", "hybrid"],
+                   default="traversal",
+                   help="route point reachability queries to the distance-"
+                        "label index (hybrid) or the traversal engine")
+    p.add_argument("--reach-frac", type=float, default=0.0,
+                   help="fraction of queries submitted as point s->t "
+                        "reachability queries (with random targets)")
+    p.add_argument("--cross-check", action="store_true",
+                   help="hybrid planner: assert index answers match the "
+                        "traversal engine")
+
+    p = sub.add_parser(
+        "index",
+        help="reachability index: build, inspect, or query the distance labels",
+    )
+    p.add_argument("action", choices=["build", "stats", "query"])
+    add_common(p)
+    p.add_argument("--save", default=None,
+                   help="write the built index to this .npz path")
+    p.add_argument("--load", default=None,
+                   help="load a previously saved index instead of building")
+    p.add_argument("--source", type=int, default=0,
+                   help="query action: source vertex")
+    p.add_argument("--target", type=int, default=1,
+                   help="query action: target vertex")
+    p.add_argument("--k", type=int, default=None,
+                   help="query action: hop budget (default unbounded)")
+    p.add_argument("--cross-check", action="store_true",
+                   help="query action: also run the traversal engine and "
+                        "assert the verdicts match")
 
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -301,27 +335,91 @@ def cmd_service(args, out) -> int:
         raise SystemExit("repro service: --rate must be > 0")
     if not 1 <= args.batch_width <= 64:
         raise SystemExit("repro service: --batch-width must be in [1, 64]")
+    if not 0.0 <= args.reach_frac <= 1.0:
+        raise SystemExit("repro service: --reach-frac must be in [0, 1]")
     el = _load(args)
     sess = _session(args, el, edge_sets=args.edge_sets)
     svc = QueryService(
         sess, args.k, discipline=args.discipline,
         batch_width=args.batch_width, use_edge_sets=args.edge_sets,
+        planner=args.planner, cross_check=args.cross_check,
     )
     roots = random_sources(el, args.queries, seed=args.seed)
     rng = np.random.default_rng(args.seed)
     arrivals = np.cumsum(rng.exponential(1.0 / args.rate, size=args.queries))
-    svc.submit_many(roots, arrivals)
+    num_point = int(round(args.reach_frac * args.queries))
+    if num_point:
+        targets = rng.integers(0, el.num_vertices, size=num_point)
+        svc.submit_many(roots[:num_point], arrivals[:num_point], targets)
+    if num_point < args.queries:
+        svc.submit_many(roots[num_point:], arrivals[num_point:])
     rep = svc.drain()
     resp = rep.response_seconds * 1e3
+    routed_index = int(np.count_nonzero(rep.routes == "index"))
     print(f"online {args.discipline} service on {args.dataset}: "
           f"{args.queries} {args.k}-hop queries at {args.rate:g}/s "
-          f"({args.machines} machines, {rep.num_batches} dispatch(es))",
+          f"({args.machines} machines, {rep.num_batches} dispatch(es), "
+          f"{num_point} point / {args.queries - num_point} enumeration, "
+          f"{routed_index} index-routed)",
           file=out)
-    print(f"  response ms: mean {resp.mean():9.3f}  p50 {np.percentile(resp, 50):9.3f}  "
-          f"p95 {np.percentile(resp, 95):9.3f}  max {resp.max():9.3f}", file=out)
+    print(f"  response ms: mean {resp.mean():9.3f}  p50 {rep.p50 * 1e3:9.3f}  "
+          f"p95 {rep.p95 * 1e3:9.3f}  p99 {rep.p99 * 1e3:9.3f}  "
+          f"max {resp.max():9.3f}", file=out)
     print(f"  queueing ms: mean {rep.queueing_seconds.mean() * 1e3:9.3f}", file=out)
     print(f"  clock at drain end: {svc.clock * 1e3:.3f} ms "
           f"(session batches run: {sess.batches_run})", file=out)
+    return 0
+
+
+def cmd_index(args, out) -> int:
+    from repro.index import IndexPlanner, load_labels, save_labels
+
+    el = _load(args)
+    sess = _session(args, el)
+    if args.load:
+        labels = load_labels(args.load)
+        sess.set_index(labels)
+        build = None
+        print(f"index loaded from {args.load}", file=out)
+    else:
+        build = sess.index_build()
+        labels = build.labels
+
+    if args.action in ("build", "stats"):
+        if build is not None:
+            print(f"index built for {args.dataset} in "
+                  f"{build.build_seconds:.3f} s "
+                  f"(prune ratio {build.prune_ratio:.2f})", file=out)
+        print(f"  vertices:        {labels.num_vertices:10d}", file=out)
+        print(f"  label entries:   {labels.num_entries:10d} "
+              f"(mean {labels.mean_label_size:.1f}/vertex/direction)",
+              file=out)
+        print(f"  size on memory:  {labels.nbytes():10d} bytes", file=out)
+        if args.save:
+            path = save_labels(labels, args.save)
+            print(f"  saved to {path}", file=out)
+        return 0
+
+    # action == "query"
+    planner = IndexPlanner(labels, sess.netmodel)
+    answer = planner.answer([args.source], [args.target], args.k)
+    dist = labels.dist(args.source, args.target)
+    budget = "unbounded" if args.k is None else f"k={args.k}"
+    verdict = "reachable" if answer.reachable[0] else "unreachable"
+    within = "" if dist < 0 else f" (distance {dist})"
+    print(f"{args.source} -> {args.target} ({budget}): {verdict}{within}",
+          file=out)
+    print(f"  label entries scanned: {int(answer.entries_scanned[0])}, "
+          f"virtual cost {answer.service_seconds[0] * 1e6:.3f} us", file=out)
+    if args.cross_check:
+        res = sess.reach([args.source], [args.target], args.k)
+        if bool(res.reachable[0]) != bool(answer.reachable[0]):
+            print(f"  CROSS-CHECK FAILED: traversal says "
+                  f"{bool(res.reachable[0])}", file=out)
+            return 1
+        print(f"  cross-check vs traversal engine: ok "
+              f"(traversal virtual time {res.virtual_seconds * 1e3:.3f} ms)",
+              file=out)
     return 0
 
 
@@ -355,6 +453,7 @@ def main(argv=None, out=None) -> int:
         "path": cmd_path,
         "centrality": cmd_centrality,
         "service": cmd_service,
+        "index": cmd_index,
         "experiment": cmd_experiment,
     }[args.command]
     return handler(args, out)

@@ -73,14 +73,9 @@ def reachability_queries(
     sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     pg = sess.pg
     cluster = sess.cluster
-    sources = np.asarray(sources, dtype=np.int64)
-    targets = np.asarray(targets, dtype=np.int64)
-    if sources.shape != targets.shape:
-        raise ValueError("sources/targets must align")
     sources = sess.check_sources(sources, MAX_BATCH_WIDTH)
     num_queries = int(sources.size)
-    if targets.size and (targets.min() < 0 or targets.max() >= pg.num_vertices):
-        raise ValueError("vertex id out of range")
+    targets = sess.check_targets(targets, num_queries)
 
     sess.prepare()
     tasks = sess.tasks_for(

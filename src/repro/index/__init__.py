@@ -1,0 +1,30 @@
+"""The reachability index subsystem: build once, answer point queries fast.
+
+Layers (each its own module):
+
+* :mod:`repro.index.labels` — vectorised 2-hop/landmark distance-label
+  storage and the sorted-intersection query kernel;
+* :mod:`repro.index.build` — degree-ordered pruned label construction over
+  the partitioned CSR/CSC structures;
+* :mod:`repro.index.storage` — ``.npz`` save/load persistence;
+* :mod:`repro.index.planner` — the hybrid index/traversal dispatch policy
+  and cost-model charging used by the service layer.
+"""
+
+from repro.index.build import IndexBuild, build_hub_labels, hub_order
+from repro.index.labels import UNREACHABLE, HubLabels
+from repro.index.planner import IndexPlanner, PointAnswer
+from repro.index.storage import labels_equal, load_labels, save_labels
+
+__all__ = [
+    "HubLabels",
+    "UNREACHABLE",
+    "IndexBuild",
+    "build_hub_labels",
+    "hub_order",
+    "IndexPlanner",
+    "PointAnswer",
+    "save_labels",
+    "load_labels",
+    "labels_equal",
+]

@@ -1,0 +1,102 @@
+"""Hybrid index/traversal query planning.
+
+The index answers a *point* reachability query (one ``(s, t, k)`` pair) by
+scanning two label slices — typically tens of entries — while the traversal
+engine expands frontiers over the partitioned graph.  The planner encodes
+the dispatch rule the service layer applies per query:
+
+* **point reachability** (a target is given) → the index, when one is
+  available; the lookup is charged to the same calibrated
+  :class:`~repro.runtime.netmodel.NetworkModel` as traversal work (label
+  entries scanned ≙ edges scanned, served by one machine, no network), so
+  virtual-time accounting stays comparable across strategies;
+* **k-hop enumeration** (no target — the answer is a vertex *set*) → the
+  bit-parallel traversal engine; labels bound distances, they cannot
+  enumerate reach sets.
+
+:meth:`IndexPlanner.answer` also carries the cross-check contract: the
+verdicts it produces must be bit-identical to the traversal engine's, which
+the regression suite and the service's ``cross_check`` mode assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.labels import HubLabels
+from repro.runtime.netmodel import NetworkModel, StepStats
+
+__all__ = ["IndexPlanner", "PointAnswer"]
+
+ROUTE_INDEX = "index"
+ROUTE_TRAVERSAL = "traversal"
+
+
+@dataclass
+class PointAnswer:
+    """Verdicts and accounting for one batch of index-answered point queries.
+
+    ``reachable[i]`` answers ``targets[i]`` within-``k``-of-``sources[i]``;
+    ``service_seconds[i]`` is the virtual cost of that lookup under the
+    planner's cost model; ``entries_scanned[i]`` is the label work it did.
+    """
+
+    sources: np.ndarray
+    targets: np.ndarray
+    k: int | None
+    reachable: np.ndarray
+    service_seconds: np.ndarray
+    entries_scanned: np.ndarray
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.sources.size)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(self.service_seconds.sum())
+
+
+@dataclass
+class IndexPlanner:
+    """Routes queries between the label index and the traversal engine."""
+
+    labels: HubLabels
+    netmodel: NetworkModel
+
+    def route(self, has_target: bool) -> str:
+        """The execution strategy for one query shape."""
+        return ROUTE_INDEX if has_target else ROUTE_TRAVERSAL
+
+    def query_seconds(self, sources, targets) -> np.ndarray:
+        """Virtual service time per point lookup, from the shared cost model.
+
+        A lookup scans ``|out(s)| + |in(t)|`` label entries on one machine:
+        the compute term of the calibrated model with entries in place of
+        edges, plus one vertex-update for writing the verdict.  No network
+        or barrier terms apply — the index is machine-local.
+        """
+        entries = self.labels.entries_scanned(sources, targets)
+        return np.array(
+            [
+                self.netmodel.compute_seconds(
+                    StepStats(edges_scanned=int(e), vertices_updated=1)
+                )
+                for e in entries
+            ]
+        )
+
+    def answer(self, sources, targets, k: int | None) -> PointAnswer:
+        """Answer a batch of point queries entirely from the index."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        return PointAnswer(
+            sources=sources,
+            targets=targets,
+            k=k,
+            reachable=self.labels.reach_many(sources, targets, k),
+            service_seconds=self.query_seconds(sources, targets),
+            entries_scanned=self.labels.entries_scanned(sources, targets),
+        )

@@ -143,6 +143,7 @@ class _PendingQuery:
     query_id: int
     source: int
     arrival: float
+    target: int | None = None
 
 
 @dataclass
@@ -153,6 +154,11 @@ class ServiceReport:
     ``response_seconds[i] = finish_seconds[i] - arrival_seconds[i]``.
     ``start_seconds[i]`` is when query ``i``'s batch (or pool slot) began
     executing, so ``start - arrival`` is its queueing delay.
+
+    Point reachability queries additionally carry their ``targets`` (-1 for
+    enumeration queries), their verdicts in ``reachable`` (1/0; -1 for
+    enumeration queries, whose answer is a reach *set*, not a bit) and the
+    execution strategy each query was routed to in ``routes``.
     """
 
     query_ids: np.ndarray
@@ -162,6 +168,9 @@ class ServiceReport:
     finish_seconds: np.ndarray
     num_batches: int
     clock_seconds: float
+    targets: np.ndarray | None = None  # int64, -1 = no target
+    reachable: np.ndarray | None = None  # int8, -1 = not a point query
+    routes: np.ndarray | None = None  # "index" | "traversal" per query
 
     @property
     def response_seconds(self) -> np.ndarray:
@@ -183,6 +192,27 @@ class ServiceReport:
     def max_response(self) -> float:
         return float(self.response_seconds.max())
 
+    def _percentile(self, q: float) -> float:
+        if self.num_queries == 0:
+            return float("nan")
+        return float(np.percentile(self.response_seconds, q))
+
+    @property
+    def p50(self) -> float:
+        """Median response time (seconds)."""
+        return self._percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile response time (seconds)."""
+        return self._percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile response time (seconds) — the tail the paper's
+        concurrency figures are about."""
+        return self._percentile(99.0)
+
 
 class QueryService:
     """An online k-hop query service over one persistent session.
@@ -203,6 +233,24 @@ class QueryService:
       by construction the same recurrence :func:`simulate_fifo_pool`
       computes, so the offline simulator cross-checks the service exactly.
 
+    Queries submitted with a ``target`` are *point reachability* queries
+    (is ``t`` within ``k`` hops of ``s``?).  The ``planner`` picks their
+    execution strategy:
+
+    * ``planner="traversal"`` (default) — point queries run on the
+      bit-parallel reachability engine, packed FIFO into word-wide batches
+      ahead of the enumeration queries;
+    * ``planner="hybrid"`` — point queries route to the session's resident
+      distance-label index (built on first use) on a dedicated lookup lane:
+      no queueing behind traversal batches, each lookup charged its
+      label-scan cost under the session's calibrated cost model.
+      Enumeration queries (no target) always keep the traversal path —
+      labels bound distances, they cannot enumerate reach sets.
+
+    ``cross_check=True`` (hybrid only) re-runs every index-answered batch
+    on the traversal engine and raises if any verdict differs — the
+    bit-identical contract, off the service's accounting books.
+
     The virtual clock persists across drains — the session stays resident
     between waves of arrivals, which is the deployment model the paper
     evaluates (§4).
@@ -216,14 +264,22 @@ class QueryService:
         batch_width: int = 64,
         concurrency: int | None = None,
         use_edge_sets: bool = False,
+        planner: str = "traversal",
+        cross_check: bool = False,
     ):
         if discipline not in ("batch", "pool"):
             raise ValueError("discipline must be 'batch' or 'pool'")
         if not 1 <= batch_width <= 64:
             raise ValueError("batch_width must be in [1, 64]")
+        if planner not in ("traversal", "hybrid"):
+            raise ValueError("planner must be 'traversal' or 'hybrid'")
+        if cross_check and planner != "hybrid":
+            raise ValueError("cross_check only applies to the hybrid planner")
         self.session = session
         self.k = k
         self.discipline = discipline
+        self.planner = planner
+        self.cross_check = bool(cross_check)
         self.batch_width = int(batch_width)
         if concurrency is None:
             concurrency = QueryScheduler(session.num_machines).concurrency
@@ -241,27 +297,53 @@ class QueryService:
 
     # -- submission --------------------------------------------------------- #
 
-    def submit(self, source: int, arrival: float = 0.0) -> int:
-        """Queue one query; returns its id (submission order)."""
+    def submit(
+        self, source: int, arrival: float = 0.0, target: int | None = None
+    ) -> int:
+        """Queue one query; returns its id (submission order).
+
+        With a ``target`` the query asks *is target within k hops of
+        source* (a point reachability query, eligible for index routing);
+        without one it asks for the full k-hop reach set.
+        """
         if not 0 <= int(source) < self.session.num_vertices:
             raise ValueError("source vertex out of range")
+        if target is not None and not 0 <= int(target) < self.session.num_vertices:
+            raise ValueError("target vertex out of range")
         if arrival < 0:
             raise ValueError("arrival time must be non-negative")
         qid = self._next_id
         self._next_id += 1
-        self._pending.append(_PendingQuery(qid, int(source), float(arrival)))
+        self._pending.append(
+            _PendingQuery(
+                qid,
+                int(source),
+                float(arrival),
+                None if target is None else int(target),
+            )
+        )
         return qid
 
-    def submit_many(self, sources, arrivals=None) -> list[int]:
-        """Queue a wave of queries (``arrivals`` defaults to all-zero)."""
+    def submit_many(self, sources, arrivals=None, targets=None) -> list[int]:
+        """Queue a wave of queries (``arrivals`` defaults to all-zero;
+        ``targets``, when given, makes the wave point reachability queries)."""
         sources = np.asarray(sources, dtype=np.int64)
         if arrivals is None:
             arrivals = np.zeros(sources.size)
         arrivals = np.asarray(arrivals, dtype=np.float64)
         if arrivals.shape != sources.shape:
             raise ValueError("arrivals must match sources")
+        if targets is None:
+            return [
+                self.submit(int(s), float(a))
+                for s, a in zip(sources, arrivals)
+            ]
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.shape != sources.shape:
+            raise ValueError("targets must match sources")
         return [
-            self.submit(int(s), float(a)) for s, a in zip(sources, arrivals)
+            self.submit(int(s), float(a), target=int(t))
+            for s, a, t in zip(sources, arrivals, targets)
         ]
 
     @property
@@ -271,21 +353,119 @@ class QueryService:
     # -- the admission loop ------------------------------------------------- #
 
     def drain(self) -> ServiceReport:
-        """Run every pending query to completion; returns per-query times."""
+        """Run every pending query to completion; returns per-query times.
+
+        Point reachability queries drain first (they are the latency-
+        sensitive class the hybrid planner exists for), then enumeration
+        queries run under the configured discipline.
+        """
         if not self._pending:
-            return self._report([], [], [], 0)
+            return self._report([], {}, {}, 0, {}, {})
         # FIFO: by arrival time, ties broken by submission order
         queue = sorted(self._pending, key=lambda q: (q.arrival, q.query_id))
         self._pending = []
-        if self.discipline == "batch":
-            return self._drain_batch(queue)
-        return self._drain_pool(queue)
-
-    def _drain_batch(self, queue: list[_PendingQuery]) -> ServiceReport:
-        from repro.core.khop import concurrent_khop
-
         starts: dict[int, float] = {}
         finishes: dict[int, float] = {}
+        verdicts: dict[int, bool] = {}
+        routes: dict[int, str] = {}
+        num_dispatches = 0
+        point = [q for q in queue if q.target is not None]
+        enum = [q for q in queue if q.target is None]
+        if point:
+            if self.planner == "hybrid":
+                num_dispatches += self._drain_point_index(
+                    point, starts, finishes, verdicts, routes
+                )
+            else:
+                num_dispatches += self._drain_point_traversal(
+                    point, starts, finishes, verdicts, routes
+                )
+        if enum:
+            if self.discipline == "batch":
+                num_dispatches += self._drain_batch(enum, starts, finishes)
+            else:
+                num_dispatches += self._drain_pool(enum, starts, finishes)
+        self.batches_dispatched += num_dispatches
+        return self._report(
+            queue, starts, finishes, num_dispatches, verdicts, routes
+        )
+
+    def _drain_point_index(
+        self, queue, starts, finishes, verdicts, routes
+    ) -> int:
+        """Answer point queries from the resident index (hybrid planner).
+
+        The index is a dedicated lookup lane: a query starts the moment it
+        arrives (no queueing behind traversal batches) and pays its
+        label-scan cost under the session's cost model.  The service clock
+        is only raised to cover the latest lookup, never rewound.
+        """
+        planner = self.session.index_planner()  # builds the index once
+        sources = np.array([q.source for q in queue], dtype=np.int64)
+        targets = np.array([q.target for q in queue], dtype=np.int64)
+        answer = planner.answer(sources, targets, self.k)
+        for j, q in enumerate(queue):
+            starts[q.query_id] = q.arrival
+            finishes[q.query_id] = q.arrival + float(answer.service_seconds[j])
+            verdicts[q.query_id] = bool(answer.reachable[j])
+            routes[q.query_id] = "index"
+        self.clock = max(self.clock, max(finishes[q.query_id] for q in queue))
+        if self.cross_check:
+            self._assert_matches_traversal(sources, targets, answer.reachable)
+        return len(queue)
+
+    def _drain_point_traversal(
+        self, queue, starts, finishes, verdicts, routes
+    ) -> int:
+        """Point queries on the bit-parallel reachability engine (word-wide
+        FIFO batches with per-query early termination)."""
+        num_batches = 0
+        i = 0
+        while i < len(queue):
+            now = max(self.clock, queue[i].arrival)
+            batch = [queue[i]]
+            i += 1
+            while (
+                i < len(queue)
+                and len(batch) < self.batch_width
+                and queue[i].arrival <= now
+            ):
+                batch.append(queue[i])
+                i += 1
+            res = self.session.reach(
+                [q.source for q in batch],
+                [q.target for q in batch],
+                self.k,
+                use_edge_sets=self.use_edge_sets,
+            )
+            for j, q in enumerate(batch):
+                starts[q.query_id] = now
+                finishes[q.query_id] = now + float(res.resolution_seconds[j])
+                verdicts[q.query_id] = bool(res.reachable[j])
+                routes[q.query_id] = "traversal"
+            self.clock = now + float(res.virtual_seconds)
+            num_batches += 1
+        return num_batches
+
+    def _assert_matches_traversal(self, sources, targets, index_verdicts):
+        """Cross-check mode: index answers must be bit-identical to the
+        traversal engine's.  Runs off the service's accounting books."""
+        for i in range(0, sources.size, 64):
+            chunk = slice(i, min(i + 64, sources.size))
+            res = self.session.reach(sources[chunk], targets[chunk], self.k)
+            if not np.array_equal(res.reachable, index_verdicts[chunk]):
+                bad = np.nonzero(res.reachable != index_verdicts[chunk])[0][0]
+                s, t = int(sources[chunk][bad]), int(targets[chunk][bad])
+                raise AssertionError(
+                    f"index/traversal cross-check failed for "
+                    f"({s} -> {t}, k={self.k}): index says "
+                    f"{bool(index_verdicts[chunk][bad])}, traversal says "
+                    f"{bool(res.reachable[bad])}"
+                )
+
+    def _drain_batch(self, queue, starts, finishes) -> int:
+        from repro.core.khop import concurrent_khop
+
         num_batches = 0
         i = 0
         while i < len(queue):
@@ -311,12 +491,9 @@ class QueryService:
                 finishes[q.query_id] = now + float(res.completion_seconds[j])
             self.clock = now + float(res.virtual_seconds)
             num_batches += 1
-        self.batches_dispatched += num_batches
-        return self._report(queue, starts, finishes, num_batches)
+        return num_batches
 
-    def _drain_pool(self, queue: list[_PendingQuery]) -> ServiceReport:
-        starts: dict[int, float] = {}
-        finishes: dict[int, float] = {}
+    def _drain_pool(self, queue, starts, finishes) -> int:
         for q in queue:
             slot = heapq.heappop(self._slots)
             start = max(slot, q.arrival)
@@ -327,12 +504,15 @@ class QueryService:
             heapq.heappush(self._slots, finish)
             starts[q.query_id] = start
             finishes[q.query_id] = finish
-        self.batches_dispatched += len(queue)
-        self.clock = max(self.clock, max(finishes.values()))
-        return self._report(queue, starts, finishes, len(queue))
+        self.clock = max(self.clock, max(finishes[q.query_id] for q in queue))
+        return len(queue)
 
-    def _report(self, queue, starts, finishes, num_batches) -> ServiceReport:
+    def _report(
+        self, queue, starts, finishes, num_batches, verdicts=None, routes=None
+    ) -> ServiceReport:
         by_id = sorted(queue, key=lambda q: q.query_id)
+        verdicts = verdicts or {}
+        routes = routes or {}
         ids = np.array([q.query_id for q in by_id], dtype=np.int64)
         return ServiceReport(
             query_ids=ids,
@@ -342,4 +522,16 @@ class QueryService:
             finish_seconds=np.array([finishes[q.query_id] for q in by_id]),
             num_batches=num_batches,
             clock_seconds=self.clock,
+            targets=np.array(
+                [-1 if q.target is None else q.target for q in by_id],
+                dtype=np.int64,
+            ),
+            reachable=np.array(
+                [int(verdicts.get(q.query_id, -1)) for q in by_id],
+                dtype=np.int8,
+            ),
+            routes=np.array(
+                [routes.get(q.query_id, "traversal") for q in by_id],
+                dtype="<U9",
+            ),
         )

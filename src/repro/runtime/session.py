@@ -80,6 +80,7 @@ class GraphSession:
         self._task_cache: dict[tuple, list[PartitionTask]] = {}
         self._undirected_pg: PartitionedGraph | None = None
         self._service_cache: dict[tuple, float] = {}
+        self._index_build = None  # IndexBuild, cached by index_build()
 
     # -- construction helpers ---------------------------------------------- #
 
@@ -129,6 +130,50 @@ class GraphSession:
         if any(p.edge_sets is None for p in self.pg.partitions):
             self.pg.build_edge_sets(sets_per_partition, consolidate_min_edges)
 
+    # -- the reachability index (lazy import: index depends on graph only) -- #
+
+    @property
+    def has_index(self) -> bool:
+        return self._index_build is not None
+
+    def index_build(self, rebuild: bool = False):
+        """Build (once) and return the index with its build accounting."""
+        from repro.index.build import build_hub_labels
+
+        if self._index_build is None or rebuild:
+            self._index_build = build_hub_labels(self.pg)
+        return self._index_build
+
+    def index(self, rebuild: bool = False):
+        """The resident :class:`~repro.index.labels.HubLabels`, built once.
+
+        The pruned distance-label index is the session's second query
+        engine: point reachability answers in label-intersection time,
+        amortising one build over every later query (the hybrid planner in
+        :class:`~repro.runtime.scheduler.QueryService` routes to it).
+        """
+        return self.index_build(rebuild=rebuild).labels
+
+    def set_index(self, labels) -> None:
+        """Adopt a prebuilt/loaded index (e.g. from ``.npz``) as resident."""
+        from repro.index.build import IndexBuild
+
+        if labels.num_vertices != self.num_vertices:
+            raise ValueError(
+                f"index covers {labels.num_vertices} vertices, "
+                f"graph has {self.num_vertices}"
+            )
+        self._index_build = IndexBuild(
+            labels=labels, build_seconds=0.0, labeled_visits=0, pruned_visits=0
+        )
+
+    def index_planner(self):
+        """An :class:`~repro.index.planner.IndexPlanner` over the resident
+        index, charged against this session's cost model."""
+        from repro.index.planner import IndexPlanner
+
+        return IndexPlanner(self.index(), self.netmodel)
+
     def undirected_pg(self) -> PartitionedGraph:
         """The partitioned undirected simple view, built once (k-core)."""
         if self._undirected_pg is None:
@@ -148,17 +193,42 @@ class GraphSession:
         """
         self.cluster.reset_buffers()
 
+    def _as_vertex_ids(self, ids, name: str) -> np.ndarray:
+        """Coerce to int64 vertex ids; reject lossy or out-of-range input."""
+        arr = np.asarray(ids)
+        if arr.dtype == object or arr.dtype.kind not in "iuf":
+            raise ValueError(f"{name} must be integer vertex ids")
+        out = arr.astype(np.int64)
+        if arr.dtype.kind == "f" and not np.array_equal(out, arr):
+            raise ValueError(f"{name} must be integer vertex ids")
+        if out.size and (out.min() < 0 or out.max() >= self.pg.num_vertices):
+            raise ValueError(f"{name.rstrip('s')} vertex out of range")
+        return out
+
     def check_sources(self, sources, max_width: int) -> np.ndarray:
         """Validate a batch's source vertices against the resident graph."""
-        sources = np.asarray(sources, dtype=np.int64)
+        sources = self._as_vertex_ids(sources, "sources")
         num_queries = int(sources.size)
         if not 1 <= num_queries <= max_width:
             raise ValueError(
                 f"need 1..{max_width} sources, got {num_queries}"
             )
-        if sources.min() < 0 or sources.max() >= self.pg.num_vertices:
-            raise ValueError("source vertex out of range")
         return sources
+
+    def check_targets(self, targets, num_queries: int) -> np.ndarray:
+        """Validate a batch's target vertices (same checks as sources).
+
+        Targets must align one-to-one with the batch's sources; bad ids
+        raise a clean :class:`ValueError` instead of silently misindexing
+        (float truncation) or raising deep inside the engine.
+        """
+        targets = self._as_vertex_ids(targets, "targets")
+        if int(targets.size) != num_queries:
+            raise ValueError(
+                f"need one target per source, got {targets.size} targets "
+                f"for {num_queries} sources"
+            )
+        return targets
 
     def tasks_for(
         self,
