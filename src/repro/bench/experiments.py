@@ -41,6 +41,7 @@ from repro.graph.partition import PartitionedGraph, range_partition
 from repro.runtime.netmodel import NetworkModel
 from repro.runtime.scheduler import QueryScheduler, QueryService
 from repro.runtime.session import GraphSession
+from repro.telemetry.instrument import Instrumentation, NullInstrumentation
 
 __all__ = [
     "calibrated_netmodel",
@@ -64,6 +65,7 @@ __all__ = [
     "per_query_service_seconds",
     "session_reuse",
     "index_vs_traversal",
+    "telemetry_overhead",
 ]
 
 PAPER_BINS = np.arange(0.0, 2.2, 0.2)  # the Fig 11/12 histogram bins (seconds)
@@ -1209,4 +1211,153 @@ def index_vs_traversal(
         label_entries=build.labels.num_entries,
         mean_label_size=build.labels.mean_label_size,
         reachable_fraction=float(answer.reachable.mean()),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Telemetry overhead: what observability costs the service drain
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class TelemetryOverheadResult:
+    """Wall-clock drain time under the three instrumentation regimes.
+
+    ``baseline_s`` is the un-instrumented service (no ``instrumentation``
+    argument anywhere — the implicit null default); ``null_s`` passes an
+    explicit :class:`~repro.telemetry.instrument.NullInstrumentation`;
+    ``recording_s`` runs a full :class:`Instrumentation` (metrics + spans).
+    Each number is the best (min) of ``repeats`` identical drains, so the
+    comparison measures code-path cost, not scheduler jitter.  The null
+    facade is the contract under test: it must stay within a few percent
+    of baseline because hot paths guard telemetry with a single
+    ``if instr.enabled`` branch per superstep.
+    """
+
+    dataset: str
+    num_queries: int
+    k: int
+    num_machines: int
+    repeats: int
+    baseline_s: float
+    null_s: float
+    recording_s: float
+    spans_recorded: int
+
+    @staticmethod
+    def _pct(variant: float, baseline: float) -> float:
+        return 100.0 * (variant / max(baseline, 1e-12) - 1.0)
+
+    @property
+    def null_overhead_pct(self) -> float:
+        return self._pct(self.null_s, self.baseline_s)
+
+    @property
+    def recording_overhead_pct(self) -> float:
+        return self._pct(self.recording_s, self.baseline_s)
+
+    @property
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "instrumentation": "none (baseline)",
+                "drain_wall_s": round(self.baseline_s, 6),
+                "overhead_pct": 0.0,
+            },
+            {
+                "instrumentation": "null facade",
+                "drain_wall_s": round(self.null_s, 6),
+                "overhead_pct": round(self.null_overhead_pct, 2),
+            },
+            {
+                "instrumentation": "recording",
+                "drain_wall_s": round(self.recording_s, 6),
+                "overhead_pct": round(self.recording_overhead_pct, 2),
+            },
+        ]
+
+    def report(self) -> str:
+        table = format_table(
+            self.rows,
+            title=(
+                f"Telemetry overhead: {self.num_queries}-query {self.k}-hop "
+                f"drain, best of {self.repeats}"
+            ),
+        )
+        return (
+            f"{table}\n"
+            f"recording run captured {self.spans_recorded} spans\n"
+            f"null-facade overhead: {self.null_overhead_pct:+.2f}% "
+            f"(budget: +5%)"
+        )
+
+
+def telemetry_overhead(
+    dataset: str = "OR-100M",
+    num_queries: int = 64,
+    k: int = 3,
+    num_machines: int = 3,
+    scale: float | None = None,
+    repeats: int = 15,
+    seed: int = 7,
+) -> TelemetryOverheadResult:
+    """Time identical service drains under each instrumentation regime.
+
+    Three resident sessions serve the same point-free k-hop workload:
+    un-instrumented, explicit null facade, and fully recording.  Every
+    variant gets one warm-up drain (populates task caches) before timing;
+    then the variants are timed *interleaved*, one drain each per round for
+    ``repeats`` rounds, so CPU-frequency drift and cache pressure hit all
+    three equally.  The reported figure per variant is its min over the
+    rounds.  Verdict arrays must match across variants — telemetry must
+    observe, never perturb.
+    """
+    el = load_dataset(dataset, scale)
+    nm = calibrated_netmodel(dataset, scale)
+    roots = random_sources(el, num_queries, seed=seed)
+
+    def build(instrumentation):
+        sess = GraphSession(
+            el,
+            num_machines=num_machines,
+            netmodel=nm,
+            instrumentation=instrumentation,
+        )
+        return QueryService(sess, k=k)
+
+    variants = {
+        "baseline": build(None),
+        "null": build(NullInstrumentation()),
+        "recording": build(Instrumentation()),
+    }
+    times = {name: float("inf") for name in variants}
+    verdicts: dict[str, np.ndarray] = {}
+    for svc in variants.values():
+        svc.submit_many(roots)
+        svc.drain()  # warm-up: task caches, allocator, first-touch pages
+    for _ in range(repeats):
+        for name, svc in variants.items():
+            svc.submit_many(roots)
+            t0 = time.perf_counter()
+            rep = svc.drain()
+            times[name] = min(times[name], time.perf_counter() - t0)
+            verdicts[name] = rep.reachable
+
+    for name in ("null", "recording"):
+        if not np.array_equal(verdicts[name], verdicts["baseline"]):
+            raise AssertionError(
+                f"{name}-instrumented drain diverged from baseline verdicts"
+            )
+
+    instr = variants["recording"].session.instr
+    return TelemetryOverheadResult(
+        dataset=dataset,
+        num_queries=num_queries,
+        k=k,
+        num_machines=num_machines,
+        repeats=repeats,
+        baseline_s=times["baseline"],
+        null_s=times["null"],
+        recording_s=times["recording"],
+        spans_recorded=instr.tracer.num_recorded,
     )

@@ -50,6 +50,7 @@ EXPERIMENTS = {
     "ablation-memory": "ablation_memory",
     "session-reuse": "session_reuse",
     "index-vs-traversal": "index_vs_traversal",
+    "telemetry-overhead": "telemetry_overhead",
 }
 
 
@@ -136,6 +137,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cross-check", action="store_true",
                    help="hybrid planner: assert index answers match the "
                         "traversal engine")
+    p.add_argument("--trace-out", default=None,
+                   help="write a chrome://tracing-loadable span trace of the "
+                        "drain to this .json path (enables instrumentation)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write Prometheus text-format metrics to this path "
+                        "(enables instrumentation)")
+
+    p = sub.add_parser(
+        "telemetry",
+        help="summarize an exported trace: per-category totals, top-K "
+             "slowest spans, per-partition skew",
+    )
+    p.add_argument("trace", help="trace file (chrome trace or telemetry JSON)")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many slowest spans to show")
 
     p = sub.add_parser(
         "index",
@@ -172,13 +188,14 @@ def _load(args):
     return load_dataset(args.dataset, args.scale)
 
 
-def _session(args, el=None, edge_sets: bool = False):
+def _session(args, el=None, edge_sets: bool = False, instrumentation=None):
     """Build the one resident session this subcommand runs on."""
     from repro.runtime.session import GraphSession
 
     if el is None:
         el = _load(args)
-    return GraphSession(el, num_machines=args.machines, edge_sets=edge_sets)
+    return GraphSession(el, num_machines=args.machines, edge_sets=edge_sets,
+                        instrumentation=instrumentation)
 
 
 def cmd_datasets(args, out) -> int:
@@ -337,8 +354,13 @@ def cmd_service(args, out) -> int:
         raise SystemExit("repro service: --batch-width must be in [1, 64]")
     if not 0.0 <= args.reach_frac <= 1.0:
         raise SystemExit("repro service: --reach-frac must be in [0, 1]")
+    instr = None
+    if args.trace_out or args.metrics_out:
+        from repro.telemetry import Instrumentation
+
+        instr = Instrumentation()
     el = _load(args)
-    sess = _session(args, el, edge_sets=args.edge_sets)
+    sess = _session(args, el, edge_sets=args.edge_sets, instrumentation=instr)
     svc = QueryService(
         sess, args.k, discipline=args.discipline,
         batch_width=args.batch_width, use_edge_sets=args.edge_sets,
@@ -367,7 +389,40 @@ def cmd_service(args, out) -> int:
           f"max {resp.max():9.3f}", file=out)
     print(f"  queueing ms: mean {rep.queueing_seconds.mean() * 1e3:9.3f}", file=out)
     print(f"  clock at drain end: {svc.clock * 1e3:.3f} ms "
-          f"(session batches run: {sess.batches_run})", file=out)
+          f"(session batches run: {sess.batches_run}, "
+          f"makespan {rep.makespan * 1e3:.3f} ms)", file=out)
+    if instr is not None:
+        from repro.telemetry import write_chrome_trace, write_prometheus
+
+        if args.trace_out:
+            path = write_chrome_trace(instr.tracer, args.trace_out)
+            print(f"  trace written to {path} "
+                  f"({instr.tracer.num_recorded} spans, "
+                  f"{instr.tracer.num_dropped} dropped)", file=out)
+        if args.metrics_out:
+            path = write_prometheus(instr.metrics, args.metrics_out)
+            print(f"  metrics written to {path}", file=out)
+    return 0
+
+
+def cmd_telemetry(args, out) -> int:
+    from repro.bench.report import format_table
+    from repro.telemetry import load_trace, summarize_trace
+
+    events = load_trace(args.trace)
+    summary = summarize_trace(events, top=args.top)
+    print(f"{args.trace}: {summary['num_events']} span(s)", file=out)
+    print(format_table(summary["categories"],
+                       title="\nvirtual time by category"), file=out)
+    print(format_table(summary["slowest"],
+                       title=f"\ntop {args.top} slowest spans"), file=out)
+    if summary["skew"]:
+        print(format_table(summary["skew"],
+                           title="\nper-partition compute skew"), file=out)
+        print(f"skew ratio (max/mean compute): {summary['skew_ratio']:.3f}",
+              file=out)
+    else:
+        print("\nno per-partition compute spans in this trace", file=out)
     return 0
 
 
@@ -453,6 +508,7 @@ def main(argv=None, out=None) -> int:
         "path": cmd_path,
         "centrality": cmd_centrality,
         "service": cmd_service,
+        "telemetry": cmd_telemetry,
         "index": cmd_index,
         "experiment": cmd_experiment,
     }[args.command]

@@ -61,10 +61,22 @@ class PointAnswer:
 
 @dataclass
 class IndexPlanner:
-    """Routes queries between the label index and the traversal engine."""
+    """Routes queries between the label index and the traversal engine.
+
+    ``instrumentation`` (default: the no-op null) accounts every answered
+    batch — a span on the ``index`` lane plus lookup/entry counters — so
+    hybrid-planner traces show the index lane next to traversal batches.
+    """
 
     labels: HubLabels
     netmodel: NetworkModel
+    instrumentation: object = None
+
+    def __post_init__(self) -> None:
+        if self.instrumentation is None:
+            from repro.telemetry.instrument import NULL_INSTRUMENTATION
+
+            self.instrumentation = NULL_INSTRUMENTATION
 
     def route(self, has_target: bool) -> str:
         """The execution strategy for one query shape."""
@@ -92,11 +104,20 @@ class IndexPlanner:
         """Answer a batch of point queries entirely from the index."""
         sources = np.asarray(sources, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
-        return PointAnswer(
-            sources=sources,
-            targets=targets,
-            k=k,
-            reachable=self.labels.reach_many(sources, targets, k),
-            service_seconds=self.query_seconds(sources, targets),
-            entries_scanned=self.labels.entries_scanned(sources, targets),
-        )
+        instr = self.instrumentation
+        with instr.span(
+            "index lookup", cat="index", queries=int(sources.size)
+        ):
+            answer = PointAnswer(
+                sources=sources,
+                targets=targets,
+                k=k,
+                reachable=self.labels.reach_many(sources, targets, k),
+                service_seconds=self.query_seconds(sources, targets),
+                entries_scanned=self.labels.entries_scanned(sources, targets),
+            )
+        if instr.enabled:
+            instr.on_index_lookup(
+                answer.num_queries, int(answer.entries_scanned.sum())
+            )
+        return answer

@@ -51,11 +51,22 @@ class SimCluster:
         The partitioned graph; machine ``i`` hosts partition ``i``.
     netmodel:
         Cost model for virtual time (a default-calibrated model if omitted).
+    instrumentation:
+        Telemetry facade shared by everything running on this cluster (the
+        engine reads it per superstep); the no-op null by default.
     """
 
-    def __init__(self, pg: PartitionedGraph, netmodel: NetworkModel | None = None):
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        netmodel: NetworkModel | None = None,
+        instrumentation=None,
+    ):
+        from repro.telemetry.instrument import NULL_INSTRUMENTATION
+
         self.pg = pg
         self.netmodel = netmodel or NetworkModel()
+        self.instr = instrumentation or NULL_INSTRUMENTATION
         self.machines = [Machine(p.part_id, p) for p in pg.partitions]
 
     @property

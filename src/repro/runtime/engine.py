@@ -18,6 +18,7 @@ answer and its virtual-time cost.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable
@@ -163,7 +164,13 @@ class SuperstepEngine:
         history: list[list[StepStats]] = []
         step = 0
         active = True
+        # telemetry: one flag check per superstep when disabled (the null
+        # facade), spans + counters per superstep when enabled
+        instr = self.cluster.instr
+        tracing = instr.enabled
+        vbase = instr.tracer.virtual_now if tracing else 0.0
         while active and (max_supersteps is None or step < max_supersteps):
+            wall0 = time.perf_counter() if tracing else 0.0
             stats = [StepStats() for _ in self.tasks]
             if self.asynchronous:
                 for i, task in enumerate(self.tasks):
@@ -193,10 +200,22 @@ class SuperstepEngine:
             votes = [task.finalize() for task in self.tasks]
             active = any(votes)
             now = clock.advance(self.netmodel.superstep_seconds(stats))
+            if tracing:
+                instr.on_superstep(
+                    step,
+                    stats,
+                    self.netmodel,
+                    vbase + now - clock.per_step[-1],
+                    vbase + now,
+                    wall0,
+                    time.perf_counter(),
+                )
             history.append(stats)
             step += 1
             if on_step is not None:
                 on_step(step - 1, stats, now)
+        if tracing:
+            instr.tracer.virtual_now = vbase + clock.now
         return EngineResult(
             supersteps=step,
             virtual_seconds=clock.now,

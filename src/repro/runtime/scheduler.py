@@ -171,6 +171,7 @@ class ServiceReport:
     targets: np.ndarray | None = None  # int64, -1 = no target
     reachable: np.ndarray | None = None  # int8, -1 = not a point query
     routes: np.ndarray | None = None  # "index" | "traversal" per query
+    busy_seconds: float = 0.0  # virtual execution time this drain dispatched
 
     @property
     def response_seconds(self) -> np.ndarray:
@@ -185,16 +186,35 @@ class ServiceReport:
         return int(self.query_ids.size)
 
     @property
+    def makespan(self) -> float:
+        """Virtual seconds of execution this drain dispatched.
+
+        In batch/traversal disciplines this is the sum of every dispatched
+        batch's engine time — exactly the sum of the drain's per-superstep
+        virtual-clock durations in an exported trace.  Idle time waiting
+        for arrivals is excluded; in pool mode memoised service times are
+        charged even when the engine run was cached.
+        """
+        return float(self.busy_seconds)
+
+    # Empty drains (zero queries) are a legal steady-state of a long-lived
+    # service; summary accessors return 0.0 instead of tripping numpy's
+    # empty-slice warnings or reduce errors.
+    @property
     def mean_response(self) -> float:
+        if self.num_queries == 0:
+            return 0.0
         return float(self.response_seconds.mean())
 
     @property
     def max_response(self) -> float:
+        if self.num_queries == 0:
+            return 0.0
         return float(self.response_seconds.max())
 
     def _percentile(self, q: float) -> float:
         if self.num_queries == 0:
-            return float("nan")
+            return 0.0
         return float(np.percentile(self.response_seconds, q))
 
     @property
@@ -212,6 +232,14 @@ class ServiceReport:
         """99th-percentile response time (seconds) — the tail the paper's
         concurrency figures are about."""
         return self._percentile(99.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceReport(queries={self.num_queries}, "
+            f"batches={self.num_batches}, "
+            f"mean={self.mean_response:.6f}s, p99={self.p99:.6f}s, "
+            f"makespan={self.makespan:.6f}s, clock={self.clock_seconds:.6f}s)"
+        )
 
 
 class QueryService:
@@ -266,6 +294,7 @@ class QueryService:
         use_edge_sets: bool = False,
         planner: str = "traversal",
         cross_check: bool = False,
+        instrumentation=None,
     ):
         if discipline not in ("batch", "pool"):
             raise ValueError("discipline must be 'batch' or 'pool'")
@@ -276,6 +305,13 @@ class QueryService:
         if cross_check and planner != "hybrid":
             raise ValueError("cross_check only applies to the hybrid planner")
         self.session = session
+        # the session's facade unless explicitly overridden, so one
+        # Instrumentation covers engine, session and service spans
+        if instrumentation is None:
+            from repro.telemetry.instrument import NULL_INSTRUMENTATION
+
+            instrumentation = getattr(session, "instr", NULL_INSTRUMENTATION)
+        self.instr = instrumentation
         self.k = k
         self.discipline = discipline
         self.planner = planner
@@ -289,6 +325,7 @@ class QueryService:
         self.use_edge_sets = bool(use_edge_sets)
         self.clock = 0.0
         self.batches_dispatched = 0
+        self._dispatch_seq = 0  # span numbering (monotone across drains)
         self._next_id = 0
         self._pending: list[_PendingQuery] = []
         # pool-mode worker slots: next-free virtual time per slot
@@ -360,7 +397,7 @@ class QueryService:
         queries run under the configured discipline.
         """
         if not self._pending:
-            return self._report([], {}, {}, 0, {}, {})
+            return self._report([], {}, {}, 0, {}, {}, 0.0)
         # FIFO: by arrival time, ties broken by submission order
         queue = sorted(self._pending, key=lambda q: (q.arrival, q.query_id))
         self._pending = []
@@ -369,30 +406,46 @@ class QueryService:
         verdicts: dict[int, bool] = {}
         routes: dict[int, str] = {}
         num_dispatches = 0
+        busy = 0.0
         point = [q for q in queue if q.target is not None]
         enum = [q for q in queue if q.target is None]
-        if point:
-            if self.planner == "hybrid":
-                num_dispatches += self._drain_point_index(
-                    point, starts, finishes, verdicts, routes
-                )
-            else:
-                num_dispatches += self._drain_point_traversal(
-                    point, starts, finishes, verdicts, routes
-                )
-        if enum:
-            if self.discipline == "batch":
-                num_dispatches += self._drain_batch(enum, starts, finishes)
-            else:
-                num_dispatches += self._drain_pool(enum, starts, finishes)
+        with self.instr.span(
+            "service drain", cat="service",
+            queries=len(queue), discipline=self.discipline,
+        ):
+            if point:
+                if self.planner == "hybrid":
+                    n, t = self._drain_point_index(
+                        point, starts, finishes, verdicts, routes
+                    )
+                else:
+                    n, t = self._drain_point_traversal(
+                        point, starts, finishes, verdicts, routes
+                    )
+                num_dispatches += n
+                busy += t
+            if enum:
+                if self.discipline == "batch":
+                    n, t = self._drain_batch(enum, starts, finishes)
+                else:
+                    n, t = self._drain_pool(enum, starts, finishes)
+                num_dispatches += n
+                busy += t
         self.batches_dispatched += num_dispatches
-        return self._report(
-            queue, starts, finishes, num_dispatches, verdicts, routes
+        report = self._report(
+            queue, starts, finishes, num_dispatches, verdicts, routes, busy
         )
+        if self.instr.enabled:
+            for route, resp in zip(report.routes, report.response_seconds):
+                self.instr.on_query_done(
+                    str(route), self.discipline, float(resp)
+                )
+            self.instr.on_clock(self.clock)
+        return report
 
     def _drain_point_index(
         self, queue, starts, finishes, verdicts, routes
-    ) -> int:
+    ) -> tuple[int, float]:
         """Answer point queries from the resident index (hybrid planner).
 
         The index is a dedicated lookup lane: a query starts the moment it
@@ -410,16 +463,26 @@ class QueryService:
             verdicts[q.query_id] = bool(answer.reachable[j])
             routes[q.query_id] = "index"
         self.clock = max(self.clock, max(finishes[q.query_id] for q in queue))
+        if self.instr.enabled:
+            self.instr.tracer.record(
+                "index lane",
+                cat="index",
+                virt_start=min(starts[q.query_id] for q in queue),
+                virt_end=max(finishes[q.query_id] for q in queue),
+                queries=len(queue),
+            )
+            self.instr.on_dispatch("index")
         if self.cross_check:
             self._assert_matches_traversal(sources, targets, answer.reachable)
-        return len(queue)
+        return len(queue), answer.total_seconds
 
     def _drain_point_traversal(
         self, queue, starts, finishes, verdicts, routes
-    ) -> int:
+    ) -> tuple[int, float]:
         """Point queries on the bit-parallel reachability engine (word-wide
         FIFO batches with per-query early termination)."""
         num_batches = 0
+        busy = 0.0
         i = 0
         while i < len(queue):
             now = max(self.clock, queue[i].arrival)
@@ -432,11 +495,14 @@ class QueryService:
             ):
                 batch.append(queue[i])
                 i += 1
-            res = self.session.reach(
-                [q.source for q in batch],
-                [q.target for q in batch],
-                self.k,
-                use_edge_sets=self.use_edge_sets,
+            res = self._dispatch(
+                "reach", now, len(batch),
+                lambda: self.session.reach(
+                    [q.source for q in batch],
+                    [q.target for q in batch],
+                    self.k,
+                    use_edge_sets=self.use_edge_sets,
+                ),
             )
             for j, q in enumerate(batch):
                 starts[q.query_id] = now
@@ -444,8 +510,9 @@ class QueryService:
                 verdicts[q.query_id] = bool(res.reachable[j])
                 routes[q.query_id] = "traversal"
             self.clock = now + float(res.virtual_seconds)
+            busy += float(res.virtual_seconds)
             num_batches += 1
-        return num_batches
+        return num_batches, busy
 
     def _assert_matches_traversal(self, sources, targets, index_verdicts):
         """Cross-check mode: index answers must be bit-identical to the
@@ -463,10 +530,32 @@ class QueryService:
                     f"{bool(res.reachable[bad])}"
                 )
 
-    def _drain_batch(self, queue, starts, finishes) -> int:
+    def _dispatch(self, kind: str, now: float, width: int, run):
+        """Execute one batch dispatch, placing it on the virtual timeline.
+
+        With instrumentation on, the tracer's virtual cursor jumps to the
+        dispatch's admission time first (covering idle gaps between
+        arrivals), so engine superstep spans land where the service clock
+        says the batch ran.
+        """
+        instr = self.instr
+        if not instr.enabled:
+            return run()
+        instr.tracer.virtual_now = now
+        instr.on_dispatch(self.discipline)
+        seq = self._dispatch_seq
+        self._dispatch_seq += 1
+        with instr.span(
+            f"dispatch {kind} b{seq}",
+            cat="dispatch", width=width, discipline=self.discipline,
+        ):
+            return run()
+
+    def _drain_batch(self, queue, starts, finishes) -> tuple[int, float]:
         from repro.core.khop import concurrent_khop
 
         num_batches = 0
+        busy = 0.0
         i = 0
         while i < len(queue):
             now = max(self.clock, queue[i].arrival)
@@ -479,21 +568,26 @@ class QueryService:
             ):
                 batch.append(queue[i])
                 i += 1
-            res = concurrent_khop(
-                self.session.pg,
-                [q.source for q in batch],
-                self.k,
-                use_edge_sets=self.use_edge_sets,
-                session=self.session,
+            res = self._dispatch(
+                "khop", now, len(batch),
+                lambda: concurrent_khop(
+                    self.session.pg,
+                    [q.source for q in batch],
+                    self.k,
+                    use_edge_sets=self.use_edge_sets,
+                    session=self.session,
+                ),
             )
             for j, q in enumerate(batch):
                 starts[q.query_id] = now
                 finishes[q.query_id] = now + float(res.completion_seconds[j])
             self.clock = now + float(res.virtual_seconds)
+            busy += float(res.virtual_seconds)
             num_batches += 1
-        return num_batches
+        return num_batches, busy
 
-    def _drain_pool(self, queue, starts, finishes) -> int:
+    def _drain_pool(self, queue, starts, finishes) -> tuple[int, float]:
+        busy = 0.0
         for q in queue:
             slot = heapq.heappop(self._slots)
             start = max(slot, q.arrival)
@@ -504,11 +598,13 @@ class QueryService:
             heapq.heappush(self._slots, finish)
             starts[q.query_id] = start
             finishes[q.query_id] = finish
+            busy += service
         self.clock = max(self.clock, max(finishes[q.query_id] for q in queue))
-        return len(queue)
+        return len(queue), busy
 
     def _report(
-        self, queue, starts, finishes, num_batches, verdicts=None, routes=None
+        self, queue, starts, finishes, num_batches, verdicts=None, routes=None,
+        busy_seconds: float = 0.0,
     ) -> ServiceReport:
         by_id = sorted(queue, key=lambda q: q.query_id)
         verdicts = verdicts or {}
@@ -534,4 +630,5 @@ class QueryService:
                 [routes.get(q.query_id, "traversal") for q in by_id],
                 dtype="<U9",
             ),
+            busy_seconds=float(busy_seconds),
         )

@@ -57,6 +57,11 @@ class GraphSession:
     edge_sets:
         Build the blocked edge-set representation eagerly (§3.2) so
         traversal batches can run with ``use_edge_sets=True``.
+    instrumentation:
+        A :class:`~repro.telemetry.Instrumentation` shared by every batch,
+        the cluster/engine, the query service and the index planner; the
+        no-op :data:`~repro.telemetry.NULL_INSTRUMENTATION` by default, so
+        telemetry is opt-in and near-free when off.
     """
 
     def __init__(
@@ -67,7 +72,11 @@ class GraphSession:
         edge_sets: bool = False,
         sets_per_partition: int = 8,
         consolidate_min_edges: int | None = None,
+        instrumentation=None,
     ):
+        from repro.telemetry.instrument import NULL_INSTRUMENTATION
+
+        self.instr = instrumentation or NULL_INSTRUMENTATION
         if isinstance(graph, PartitionedGraph):
             self.pg = graph
         else:
@@ -75,7 +84,7 @@ class GraphSession:
         if edge_sets:
             self.build_edge_sets(sets_per_partition, consolidate_min_edges)
         self.netmodel = netmodel or NetworkModel()
-        self.cluster = SimCluster(self.pg, self.netmodel)
+        self.cluster = SimCluster(self.pg, self.netmodel, self.instr)
         self.batches_run = 0
         self._task_cache: dict[tuple, list[PartitionTask]] = {}
         self._undirected_pg: PartitionedGraph | None = None
@@ -141,7 +150,8 @@ class GraphSession:
         from repro.index.build import build_hub_labels
 
         if self._index_build is None or rebuild:
-            self._index_build = build_hub_labels(self.pg)
+            with self.instr.span("index build", cat="index"):
+                self._index_build = build_hub_labels(self.pg)
         return self._index_build
 
     def index(self, rebuild: bool = False):
@@ -172,7 +182,7 @@ class GraphSession:
         index, charged against this session's cost model."""
         from repro.index.planner import IndexPlanner
 
-        return IndexPlanner(self.index(), self.netmodel)
+        return IndexPlanner(self.index(), self.netmodel, self.instr)
 
     def undirected_pg(self) -> PartitionedGraph:
         """The partitioned undirected simple view, built once (k-core)."""
@@ -191,7 +201,8 @@ class GraphSession:
         Drops any queued inbox/outbox messages so traffic from a previous
         (possibly aborted) batch can never leak into this one.
         """
-        self.cluster.reset_buffers()
+        with self.instr.span("session prepare", cat="session"):
+            self.cluster.reset_buffers()
 
     def _as_vertex_ids(self, ids, name: str) -> np.ndarray:
         """Coerce to int64 vertex ids; reject lossy or out-of-range input."""
@@ -278,7 +289,11 @@ class GraphSession:
             asynchronous=asynchronous,
             parallel_compute=parallel_compute,
         )
-        result = engine.run(max_supersteps=max_supersteps, on_step=on_step)
+        with self.instr.span(
+            f"run batch {self.batches_run}", cat="batch",
+            query_batch=self.batches_run,
+        ):
+            result = engine.run(max_supersteps=max_supersteps, on_step=on_step)
         self.batches_run += 1
         return result
 

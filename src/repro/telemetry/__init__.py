@@ -1,0 +1,63 @@
+"""Zero-dependency observability for the query service (tracing + metrics).
+
+The paper's evaluation lives on numbers the runtime counts and then throws
+away; this package keeps them.  Three layers:
+
+* :mod:`repro.telemetry.metrics` — Counters/Gauges/Histograms with label
+  sets and fixed log-scale latency buckets, in a registry;
+* :mod:`repro.telemetry.trace` — dual-clock (wall + virtual) spans with
+  parent/child nesting and a bounded ring-buffer flight recorder;
+* :mod:`repro.telemetry.export` — Prometheus text exposition, a lossless
+  JSON dump, and Chrome Trace Event Format output, plus the trace
+  summariser behind ``repro telemetry``.
+
+:class:`Instrumentation` is the facade the runtime is threaded with;
+:data:`NULL_INSTRUMENTATION` is the default no-op (one branch per
+superstep when disabled — see the overhead benchmark).
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    load_trace,
+    prometheus_text,
+    summarize_trace,
+    telemetry_json,
+    write_chrome_trace,
+    write_prometheus,
+    write_telemetry_json,
+)
+from repro.telemetry.instrument import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    NullInstrumentation,
+)
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import DEFAULT_FLIGHT_RECORDER_SPANS, Span, Tracer
+
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "Tracer",
+    "Span",
+    "DEFAULT_FLIGHT_RECORDER_SPANS",
+    "prometheus_text",
+    "write_prometheus",
+    "telemetry_json",
+    "write_telemetry_json",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,332 @@
+"""Telemetry exports: Prometheus text, JSON dump, Chrome Trace Format.
+
+Three consumers, three formats, one source of truth:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (`# HELP` / `# TYPE` / series lines, histogram ``_bucket``/``_sum``/
+  ``_count`` with cumulative ``le`` bounds), scrapable or diffable;
+* :func:`telemetry_json` — a lossless dump of every retained span and every
+  metric series, for programmatic analysis;
+* :func:`chrome_trace` — the Chrome Trace Event Format
+  (load the file at ``chrome://tracing`` or https://ui.perfetto.dev).
+  Spans are placed on the **virtual** timeline (ts/dur in virtual
+  microseconds — the clock the paper's figures use), one viewer lane per
+  partition (``tid``); a span with no virtual extent (e.g. a pure
+  wall-clock phase like session prepare) keeps its virtual position and
+  shows its wall duration instead.  Both durations always travel in the
+  event ``args``.
+
+:func:`load_trace` / :func:`summarize_trace` close the loop: they read
+either export back and reduce it to what an operator asks first — span
+counts and time per category, the top-K slowest spans, and the
+per-partition compute skew table (`repro telemetry`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.trace import Span, Tracer
+
+__all__ = [
+    "prometheus_text",
+    "write_prometheus",
+    "telemetry_json",
+    "write_telemetry_json",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_trace",
+    "summarize_trace",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _fmt_labels(labelnames, key, extra: list[tuple[str, str]] | None = None):
+    pairs = [(n, v) for n, v in zip(labelnames, key)]
+    if extra:
+        pairs += extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{n}="{v}"' for n, v in pairs)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every registered metric in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            series = dict(metric.series)
+            if not metric.labelnames and not series:
+                series = {(): 0.0}  # unlabeled metrics expose 0 untouched
+            for key, value in sorted(series.items()):
+                labels = _fmt_labels(metric.labelnames, key)
+                lines.append(f"{metric.name}{labels} {_fmt_value(value)}")
+        elif isinstance(metric, Histogram):
+            for key, s in sorted(metric.series.items()):
+                # bucket_counts are already cumulative (le semantics)
+                for bound, cum in zip(metric.buckets, s.bucket_counts):
+                    labels = _fmt_labels(
+                        metric.labelnames, key, [("le", _fmt_value(bound))]
+                    )
+                    lines.append(f"{metric.name}_bucket{labels} {cum}")
+                labels = _fmt_labels(metric.labelnames, key, [("le", "+Inf")])
+                lines.append(f"{metric.name}_bucket{labels} {s.count}")
+                base = _fmt_labels(metric.labelnames, key)
+                lines.append(f"{metric.name}_sum{base} {_fmt_value(s.total)}")
+                lines.append(f"{metric.name}_count{base} {s.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> Path:
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Lossless JSON dump
+# --------------------------------------------------------------------------- #
+
+
+def _metric_dict(metric) -> dict:
+    d = {
+        "name": metric.name,
+        "kind": metric.kind,
+        "help": metric.help,
+        "labelnames": list(metric.labelnames),
+    }
+    if isinstance(metric, Histogram):
+        d["buckets"] = list(metric.buckets)
+        d["series"] = [
+            {
+                "labels": list(key),
+                "bucket_counts": list(s.bucket_counts),
+                "sum": s.total,
+                "count": s.count,
+            }
+            for key, s in sorted(metric.series.items())
+        ]
+    else:
+        d["series"] = [
+            {"labels": list(key), "value": value}
+            for key, value in sorted(metric.series.items())
+        ]
+    return d
+
+
+def telemetry_json(instrumentation) -> dict:
+    """Everything the instrumentation holds, as one JSON-ready dict."""
+    tracer: Tracer = instrumentation.tracer
+    registry: MetricsRegistry = instrumentation.metrics
+    return {
+        "format": "cgraph-telemetry-v1",
+        "spans": [s.to_dict() for s in tracer.spans],
+        "spans_recorded": tracer.num_recorded,
+        "spans_dropped": tracer.num_dropped,
+        "virtual_now": tracer.virtual_now,
+        "metrics": [_metric_dict(m) for m in registry.collect()],
+    }
+
+
+def write_telemetry_json(instrumentation, path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(telemetry_json(instrumentation), indent=2))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Chrome Trace Event Format
+# --------------------------------------------------------------------------- #
+
+_PID = 1  # one process lane: the virtual cluster
+
+
+def _span_event(span: Span) -> dict:
+    virt_us = span.virt_seconds * 1e6
+    wall_us = span.wall_seconds * 1e6
+    ts = (span.virt_start if span.virt_start is not None else 0.0) * 1e6
+    args = dict(span.args)
+    args["virtual_us"] = virt_us
+    args["wall_us"] = wall_us
+    args["span_id"] = span.span_id
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    return {
+        "name": span.name,
+        "cat": span.cat or "span",
+        "ph": "X",
+        "ts": ts,
+        "dur": virt_us if virt_us > 0.0 else wall_us,
+        "pid": _PID,
+        "tid": span.tid,
+        "args": args,
+    }
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The retained spans as a ``chrome://tracing``-loadable event dict."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "C-Graph virtual cluster"},
+        }
+    ]
+    tids = sorted({s.tid for s in tracer.spans})
+    for tid in tids:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": f"partition {tid}" if tid else "cluster"},
+            }
+        )
+    events.extend(
+        sorted((_span_event(s) for s in tracer.spans), key=lambda e: e["ts"])
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual-microseconds",
+            "spans_recorded": tracer.num_recorded,
+            "spans_dropped": tracer.num_dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer)))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Reading traces back: the `repro telemetry` summary
+# --------------------------------------------------------------------------- #
+
+
+def load_trace(path) -> list[dict]:
+    """Normalise any of our trace exports into a list of duration events.
+
+    Accepts a Chrome trace (``{"traceEvents": [...]}`` or a bare event
+    array) or the full telemetry JSON dump; returns complete ("X") events.
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict) and data.get("format") == "cgraph-telemetry-v1":
+        spans = [
+            Span(
+                span_id=d["span_id"],
+                name=d["name"],
+                cat=d["cat"],
+                parent_id=d.get("parent_id"),
+                tid=d.get("tid", 0),
+                wall_start=d.get("wall_start"),
+                wall_end=d.get("wall_end"),
+                virt_start=d.get("virt_start"),
+                virt_end=d.get("virt_end"),
+                args=d.get("args", {}),
+            )
+            for d in data["spans"]
+        ]
+        return [_span_event(s) for s in spans]
+    if isinstance(data, dict):
+        events = data.get("traceEvents", [])
+    else:
+        events = data
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def summarize_trace(events: list[dict], top: int = 10) -> dict:
+    """Reduce duration events to the operator's first three questions.
+
+    Returns per-category totals, the ``top`` slowest spans, and the
+    per-partition compute-skew table (total compute virtual time and edges
+    scanned per viewer lane, with each lane's share of the maximum — the
+    straggler diagnosis for barrier-dominated supersteps).
+    """
+    categories: dict[str, dict] = {}
+    for e in events:
+        row = categories.setdefault(
+            e.get("cat", "span"), {"spans": 0, "total_us": 0.0}
+        )
+        row["spans"] += 1
+        row["total_us"] += float(e.get("dur", 0.0))
+    category_rows = [
+        {
+            "category": cat,
+            "spans": row["spans"],
+            "virtual_ms": row["total_us"] / 1e3,
+        }
+        for cat, row in sorted(
+            categories.items(), key=lambda kv: -kv[1]["total_us"]
+        )
+    ]
+
+    slowest = sorted(events, key=lambda e: -float(e.get("dur", 0.0)))[:top]
+    slowest_rows = [
+        {
+            "name": e["name"],
+            "category": e.get("cat", "span"),
+            "partition": e.get("tid", 0),
+            "virtual_ms": float(e.get("dur", 0.0)) / 1e3,
+            "wall_ms": float(e.get("args", {}).get("wall_us", 0.0)) / 1e3,
+        }
+        for e in slowest
+    ]
+
+    per_partition: dict[int, dict] = {}
+    for e in events:
+        if e.get("cat") != "compute":
+            continue
+        row = per_partition.setdefault(
+            int(e.get("tid", 0)), {"compute_us": 0.0, "edges": 0}
+        )
+        row["compute_us"] += float(e.get("dur", 0.0))
+        row["edges"] += int(e.get("args", {}).get("edges_scanned", 0))
+    skew_rows = []
+    if per_partition:
+        slowest_lane = max(r["compute_us"] for r in per_partition.values())
+        for tid, row in sorted(per_partition.items()):
+            skew_rows.append(
+                {
+                    "partition": tid,
+                    "compute_ms": row["compute_us"] / 1e3,
+                    "edges_scanned": row["edges"],
+                    "share_of_slowest": (
+                        row["compute_us"] / slowest_lane if slowest_lane else 0.0
+                    ),
+                }
+            )
+    mean_compute = (
+        sum(r["compute_ms"] for r in skew_rows) / len(skew_rows)
+        if skew_rows
+        else 0.0
+    )
+    max_compute = max((r["compute_ms"] for r in skew_rows), default=0.0)
+    return {
+        "num_events": len(events),
+        "categories": category_rows,
+        "slowest": slowest_rows,
+        "skew": skew_rows,
+        "skew_ratio": (max_compute / mean_compute) if mean_compute else 0.0,
+    }

@@ -1,0 +1,193 @@
+"""Span tracing on two clocks, with a bounded flight recorder.
+
+Every interval worth seeing in a trace viewer — session prepare, superstep,
+per-partition compute, comm flush, index lookup, service drain — becomes a
+:class:`Span` carrying **both** time bases the runtime lives on:
+
+* the **wall clock** (``time.perf_counter``): what this process actually
+  spent, the thing profilers optimise;
+* the **virtual clock**: the cost model's cluster time (what the paper's
+  figures are denominated in).  The tracer keeps a monotone ``virtual_now``
+  cursor that the engine advances superstep by superstep and the service
+  layer jumps forward over idle gaps, so spans from many batches land on
+  one coherent virtual timeline.
+
+Spans nest: entering a span pushes it on a stack and children record their
+parent's id, which is how a drain decomposes into dispatches, batches,
+supersteps and per-partition compute in the exported trace.
+
+The **flight recorder** is a ring buffer: only the most recent ``capacity``
+*completed* spans are retained, so a long-lived service records forever at
+steady memory — exactly the black-box model ("what were the last N things
+the cluster did when it went slow?").  ``num_recorded`` keeps counting past
+evictions so exports can say how much history was dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "DEFAULT_FLIGHT_RECORDER_SPANS"]
+
+DEFAULT_FLIGHT_RECORDER_SPANS = 4096
+
+
+@dataclass
+class Span:
+    """One named interval on the wall and/or virtual clock.
+
+    ``tid`` is the trace-viewer lane (machine/partition id for per-partition
+    work, 0 for cluster-wide phases); ``args`` carries span-specific counts
+    (edges scanned, bytes, batch width, …).
+    """
+
+    span_id: int
+    name: str
+    cat: str = ""
+    parent_id: int | None = None
+    tid: int = 0
+    wall_start: float | None = None
+    wall_end: float | None = None
+    virt_start: float | None = None
+    virt_end: float | None = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        if self.wall_start is None or self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def virt_seconds(self) -> float:
+        if self.virt_start is None or self.virt_end is None:
+            return 0.0
+        return self.virt_end - self.virt_start
+
+    @property
+    def duration_seconds(self) -> float:
+        """Virtual duration when the span has one, else wall duration."""
+        if self.virt_start is not None and self.virt_end is not None:
+            return self.virt_seconds
+        return self.wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "cat": self.cat,
+            "parent_id": self.parent_id,
+            "tid": self.tid,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+            "virt_start": self.virt_start,
+            "virt_end": self.virt_end,
+            "args": dict(self.args),
+        }
+
+
+class Tracer:
+    """Records spans into a bounded ring buffer (the flight recorder)."""
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_RECORDER_SPANS):
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        self.capacity = int(capacity)
+        self._ring: deque[Span] = deque(maxlen=self.capacity)
+        self._ids = itertools.count()
+        self._stack: list[Span] = []
+        self.num_recorded = 0
+        self.virtual_now = 0.0
+
+    # -- recording ---------------------------------------------------------- #
+
+    def current_span_id(self) -> int | None:
+        """The innermost open span's id (parent for new spans)."""
+        return self._stack[-1].span_id if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", tid: int = 0, **args):
+        """Open a nested span measuring wall clock now..exit.
+
+        The virtual extent is captured from ``virtual_now`` at entry and
+        exit, so any virtual time advanced inside (supersteps, service
+        dispatches) becomes the span's virtual duration for free.
+        """
+        s = Span(
+            span_id=next(self._ids),
+            name=name,
+            cat=cat,
+            parent_id=self.current_span_id(),
+            tid=tid,
+            wall_start=time.perf_counter(),
+            virt_start=self.virtual_now,
+            args=args,
+        )
+        self._stack.append(s)
+        try:
+            yield s
+        finally:
+            s.wall_end = time.perf_counter()
+            s.virt_end = self.virtual_now
+            self._stack.pop()
+            self._commit(s)
+
+    def record(
+        self,
+        name: str,
+        cat: str = "",
+        virt_start: float | None = None,
+        virt_end: float | None = None,
+        wall_start: float | None = None,
+        wall_end: float | None = None,
+        tid: int = 0,
+        parent_id: int | None = None,
+        **args,
+    ) -> Span:
+        """Record one already-measured span (post-hoc, no nesting push)."""
+        s = Span(
+            span_id=next(self._ids),
+            name=name,
+            cat=cat,
+            parent_id=(
+                parent_id if parent_id is not None else self.current_span_id()
+            ),
+            tid=tid,
+            wall_start=wall_start,
+            wall_end=wall_end,
+            virt_start=virt_start,
+            virt_end=virt_end,
+            args=args,
+        )
+        self._commit(s)
+        return s
+
+    def _commit(self, span: Span) -> None:
+        self._ring.append(span)
+        self.num_recorded += 1
+
+    # -- reading ------------------------------------------------------------ #
+
+    @property
+    def spans(self) -> list[Span]:
+        """Retained (most recent) spans, oldest first."""
+        return list(self._ring)
+
+    @property
+    def num_dropped(self) -> int:
+        """Spans evicted from the ring so far."""
+        return self.num_recorded - len(self._ring)
+
+    def slowest(self, top: int = 10, cat: str | None = None) -> list[Span]:
+        """The ``top`` retained spans by duration (virtual, else wall)."""
+        pool = self.spans if cat is None else [
+            s for s in self.spans if s.cat == cat
+        ]
+        return sorted(pool, key=lambda s: s.duration_seconds, reverse=True)[:top]
+
+    def clear(self) -> None:
+        self._ring.clear()

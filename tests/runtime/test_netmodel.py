@@ -30,6 +30,85 @@ class TestStepStats:
         assert a.bytes_sent == {0: 16, 1: 4}
 
 
+def _stats(edges, vertices, bytes_sent, messages_sent, disk_bytes, disk_reads):
+    s = StepStats(edges_scanned=edges, vertices_updated=vertices)
+    s.bytes_sent = dict(bytes_sent)
+    s.messages_sent = dict(messages_sent)
+    s.disk_bytes_read = disk_bytes
+    s.disk_reads = disk_reads
+    return s
+
+
+def _clone(s: StepStats) -> StepStats:
+    return _stats(s.edges_scanned, s.vertices_updated, s.bytes_sent,
+                  s.messages_sent, s.disk_bytes_read, s.disk_reads)
+
+
+def _snapshot(s: StepStats) -> tuple:
+    return (s.edges_scanned, s.vertices_updated, dict(s.bytes_sent),
+            dict(s.messages_sent), s.disk_bytes_read, s.disk_reads)
+
+
+stats_strategy = st.builds(
+    _stats,
+    st.integers(0, 10**7),
+    st.integers(0, 10**7),
+    st.dictionaries(st.integers(0, 7), st.integers(0, 10**6), max_size=5),
+    st.dictionaries(st.integers(0, 7), st.integers(0, 10**5), max_size=5),
+    st.integers(0, 10**8),
+    st.integers(0, 1000),
+)
+
+
+class TestMergeAlgebra:
+    """merge must be a commutative monoid fold — telemetry aggregation
+    (per-machine counters folded across supersteps, machines, drains)
+    silently miscounts if any of these laws break."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=stats_strategy, b=stats_strategy, c=stats_strategy)
+    def test_merge_associative(self, a, b, c):
+        left = _clone(a)
+        ab = _clone(a)
+        ab.merge(b)
+        left = ab  # (a ⊕ b) ⊕ c
+        left.merge(c)
+        bc = _clone(b)
+        bc.merge(c)
+        right = _clone(a)  # a ⊕ (b ⊕ c)
+        right.merge(bc)
+        assert _snapshot(left) == _snapshot(right)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=stats_strategy, b=stats_strategy)
+    def test_merge_totals_commutative(self, a, b):
+        ab = _clone(a)
+        ab.merge(b)
+        ba = _clone(b)
+        ba.merge(a)
+        assert ab.total_bytes == ba.total_bytes
+        assert ab.total_messages == ba.total_messages
+        assert _snapshot(ab) == _snapshot(ba)  # fully commutative, in fact
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=stats_strategy)
+    def test_fresh_stats_is_identity(self, a):
+        left = _clone(a)
+        left.merge(StepStats())  # a ⊕ 0 = a
+        assert _snapshot(left) == _snapshot(a)
+        right = StepStats()  # 0 ⊕ a = a
+        right.merge(a)
+        assert _snapshot(right) == _snapshot(a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=stats_strategy, b=stats_strategy)
+    def test_merge_does_not_mutate_other(self, a, b):
+        before = _snapshot(b)
+        merged = _clone(a)
+        merged.merge(b)
+        assert _snapshot(b) == before
+
+
 class TestNetworkModel:
     def test_compute_scales_with_edges(self):
         nm = NetworkModel()

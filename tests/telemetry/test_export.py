@@ -1,0 +1,172 @@
+"""Exporters: Prometheus text, Chrome Trace Format, JSON dump, readback."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    chrome_trace,
+    load_trace,
+    prometheus_text,
+    summarize_trace,
+    telemetry_json,
+    write_chrome_trace,
+    write_prometheus,
+    write_telemetry_json,
+)
+from repro.telemetry.instrument import Instrumentation
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    c = r.counter("cg_messages_total", "messages", labelnames=("machine",))
+    c.inc(7, machine="0")
+    c.inc(3, machine="1")
+    r.gauge("cg_clock_seconds", "clock").set(1.5)
+    h = r.histogram("cg_resp_seconds", "resp", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return r
+
+
+@pytest.fixture
+def tracer():
+    tr = Tracer()
+    tr.record("superstep 0", cat="superstep", virt_start=0.0, virt_end=2.0,
+              wall_start=0.0, wall_end=0.01)
+    tr.record("compute p0", cat="compute", tid=0, virt_start=0.0,
+              virt_end=2.0, edges_scanned=100)
+    tr.record("compute p1", cat="compute", tid=1, virt_start=0.0,
+              virt_end=1.0, edges_scanned=40)
+    tr.record("session prepare", cat="session", wall_start=0.0, wall_end=0.25)
+    tr.virtual_now = 2.0
+    return tr
+
+
+class TestPrometheusText:
+    def test_help_type_and_series_lines(self, registry):
+        text = prometheus_text(registry)
+        assert "# HELP cg_messages_total messages" in text
+        assert "# TYPE cg_messages_total counter" in text
+        assert 'cg_messages_total{machine="0"} 7' in text
+        assert 'cg_messages_total{machine="1"} 3' in text
+        assert "# TYPE cg_clock_seconds gauge" in text
+        assert "cg_clock_seconds 1.5" in text
+
+    def test_histogram_exposition_is_cumulative(self, registry):
+        text = prometheus_text(registry)
+        assert 'cg_resp_seconds_bucket{le="0.1"} 1' in text
+        assert 'cg_resp_seconds_bucket{le="1"} 2' in text
+        assert 'cg_resp_seconds_bucket{le="+Inf"} 3' in text
+        assert "cg_resp_seconds_sum 5.55" in text
+        assert "cg_resp_seconds_count 3" in text
+
+    def test_untouched_unlabeled_metric_exposes_zero(self):
+        r = MetricsRegistry()
+        r.counter("cg_idle_total")
+        assert "cg_idle_total 0" in prometheus_text(r)
+
+    def test_write_roundtrip(self, registry, tmp_path):
+        path = write_prometheus(registry, tmp_path / "m.prom")
+        assert path.read_text() == prometheus_text(registry)
+
+
+class TestChromeTrace:
+    def test_structure_is_trace_viewer_loadable(self, tracer):
+        doc = chrome_trace(tracer)
+        assert isinstance(doc["traceEvents"], list)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        assert "thread_name" in names
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 4
+        for e in spans:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_virtual_microsecond_timeline(self, tracer):
+        doc = chrome_trace(tracer)
+        step = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "superstep 0")
+        assert step["ts"] == 0.0
+        assert step["dur"] == pytest.approx(2e6)  # 2 virtual s -> µs
+        assert step["args"]["virtual_us"] == pytest.approx(2e6)
+        assert step["args"]["wall_us"] == pytest.approx(1e4)
+
+    def test_wall_only_span_shows_wall_duration(self, tracer):
+        doc = chrome_trace(tracer)
+        prep = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "session prepare")
+        assert prep["dur"] == pytest.approx(0.25e6)
+        assert prep["args"]["virtual_us"] == 0.0
+
+    def test_write_is_valid_json(self, tracer, tmp_path):
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["spans_recorded"] == 4
+
+
+class TestTelemetryJson:
+    def test_dump_is_lossless(self, tracer, registry):
+        instr = Instrumentation.__new__(Instrumentation)
+        instr.tracer = tracer
+        instr.metrics = registry
+        doc = telemetry_json(instr)
+        assert doc["format"] == "cgraph-telemetry-v1"
+        assert len(doc["spans"]) == 4
+        assert doc["spans_recorded"] == 4
+        assert doc["spans_dropped"] == 0
+        assert doc["virtual_now"] == 2.0
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        assert by_name["cg_messages_total"]["series"] == [
+            {"labels": ["0"], "value": 7.0},
+            {"labels": ["1"], "value": 3.0},
+        ]
+        hist = by_name["cg_resp_seconds"]
+        assert hist["series"][0]["bucket_counts"] == [1, 2]
+        assert hist["series"][0]["count"] == 3
+
+
+class TestLoadAndSummarize:
+    def test_load_chrome_trace(self, tracer, tmp_path):
+        path = write_chrome_trace(tracer, tmp_path / "t.json")
+        events = load_trace(path)
+        assert len(events) == 4
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_load_full_dump_matches_chrome_view(self, tracer, registry,
+                                                tmp_path):
+        instr = Instrumentation.__new__(Instrumentation)
+        instr.tracer = tracer
+        instr.metrics = registry
+        dump = load_trace(write_telemetry_json(instr, tmp_path / "d.json"))
+        chrome = load_trace(write_chrome_trace(tracer, tmp_path / "t.json"))
+        key = lambda e: e["args"]["span_id"]  # noqa: E731
+        assert sorted(dump, key=key) == sorted(chrome, key=key)
+
+    def test_summary_categories_slowest_and_skew(self, tracer, tmp_path):
+        events = load_trace(write_chrome_trace(tracer, tmp_path / "t.json"))
+        summary = summarize_trace(events, top=2)
+        assert summary["num_events"] == 4
+        cats = {r["category"]: r for r in summary["categories"]}
+        assert cats["compute"]["spans"] == 2
+        assert cats["compute"]["virtual_ms"] == pytest.approx(3000.0)
+        assert len(summary["slowest"]) == 2
+        assert summary["slowest"][0]["virtual_ms"] >= (
+            summary["slowest"][1]["virtual_ms"]
+        )
+        skew = {r["partition"]: r for r in summary["skew"]}
+        assert skew[0]["edges_scanned"] == 100
+        assert skew[1]["share_of_slowest"] == pytest.approx(0.5)
+        # mean compute = 1.5 s, max = 2 s
+        assert summary["skew_ratio"] == pytest.approx(2.0 / 1.5)
+
+    def test_summary_of_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary["num_events"] == 0
+        assert summary["skew"] == []
+        assert summary["skew_ratio"] == 0.0

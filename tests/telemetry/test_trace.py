@@ -1,0 +1,101 @@
+"""Span tracer: dual clocks, nesting, and the flight-recorder ring."""
+
+import pytest
+
+from repro.telemetry.trace import DEFAULT_FLIGHT_RECORDER_SPANS, Span, Tracer
+
+
+class TestSpanClocks:
+    def test_virtual_duration_preferred_over_wall(self):
+        s = Span(0, "x", wall_start=0.0, wall_end=5.0,
+                 virt_start=10.0, virt_end=12.0)
+        assert s.wall_seconds == 5.0
+        assert s.virt_seconds == 2.0
+        assert s.duration_seconds == 2.0
+
+    def test_wall_only_span_falls_back_to_wall(self):
+        s = Span(0, "x", wall_start=1.0, wall_end=4.0)
+        assert s.virt_seconds == 0.0
+        assert s.duration_seconds == 3.0
+
+    def test_open_span_has_zero_durations(self):
+        assert Span(0, "x").duration_seconds == 0.0
+
+
+class TestNesting:
+    def test_children_record_parent_id(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            assert tr.current_span_id() == outer.span_id
+            with tr.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert tr.current_span_id() is None
+        # children commit before parents (completion order)
+        assert [s.name for s in tr.spans] == ["inner", "outer"]
+
+    def test_span_captures_virtual_cursor_motion(self):
+        tr = Tracer()
+        tr.virtual_now = 5.0
+        with tr.span("drain") as s:
+            tr.virtual_now += 2.5  # the engine advances the cursor inside
+        assert s.virt_start == 5.0
+        assert s.virt_end == 7.5
+        assert s.virt_seconds == 2.5
+        assert s.wall_seconds >= 0.0
+
+    def test_record_inherits_open_parent_unless_given(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            child = tr.record("posthoc", virt_start=0.0, virt_end=1.0)
+            explicit = tr.record("explicit", parent_id=123)
+        assert child.parent_id == outer.span_id
+        assert explicit.parent_id == 123
+
+    def test_span_commits_on_exception(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tr.spans] == ["doomed"]
+        assert tr.current_span_id() is None
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_most_recent(self):
+        tr = Tracer(capacity=3)
+        for i in range(5):
+            tr.record(f"s{i}")
+        assert [s.name for s in tr.spans] == ["s2", "s3", "s4"]
+        assert tr.num_recorded == 5
+        assert tr.num_dropped == 2
+
+    def test_default_capacity(self):
+        assert Tracer().capacity == DEFAULT_FLIGHT_RECORDER_SPANS
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_clear_empties_ring_only(self):
+        tr = Tracer()
+        tr.record("a")
+        tr.clear()
+        assert tr.spans == []
+        assert tr.num_recorded == 1  # history counter survives
+
+    def test_span_ids_monotone(self):
+        tr = Tracer(capacity=2)
+        ids = [tr.record(f"s{i}").span_id for i in range(4)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 4
+
+
+class TestSlowest:
+    def test_orders_by_duration_and_filters_by_cat(self):
+        tr = Tracer()
+        tr.record("fast", cat="compute", virt_start=0.0, virt_end=1.0)
+        tr.record("slow", cat="compute", virt_start=0.0, virt_end=9.0)
+        tr.record("other", cat="comm", virt_start=0.0, virt_end=5.0)
+        assert [s.name for s in tr.slowest(top=2)] == ["slow", "other"]
+        assert [s.name for s in tr.slowest(cat="compute")] == ["slow", "fast"]

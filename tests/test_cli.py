@@ -128,3 +128,53 @@ class TestNewCommands:
                 "--export", str(target))
         rows = json.loads(target.read_text())
         assert rows[0]["distance"] == 0
+
+
+class TestServiceTelemetry:
+    def test_service_without_flags_stays_uninstrumented(self):
+        out = run_cli("service", "--queries", "8", "--k", "2", *SCALE)
+        assert "makespan" in out
+        assert "trace written" not in out
+
+    def test_service_writes_trace_and_metrics(self, tmp_path):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        out = run_cli("service", "--queries", "16", "--k", "2",
+                      "--discipline", "batch",
+                      "--trace-out", str(trace),
+                      "--metrics-out", str(prom), *SCALE)
+        assert f"trace written to {trace}" in out
+        assert f"metrics written to {prom}" in out
+
+        import json
+
+        doc = json.loads(trace.read_text())
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert any(e["cat"] == "superstep" for e in spans)
+
+        text = prom.read_text()
+        for name in ("cgraph_messages_total", "cgraph_bytes_total",
+                     "cgraph_edges_scanned_total",
+                     "cgraph_response_seconds_bucket"):
+            assert name in text
+
+    def test_telemetry_summarizes_a_trace(self, tmp_path):
+        trace = tmp_path / "t.json"
+        run_cli("service", "--queries", "16", "--k", "2",
+                "--discipline", "batch", "--trace-out", str(trace), *SCALE)
+        out = run_cli("telemetry", str(trace), "--top", "3")
+        assert "virtual time by category" in out
+        assert "superstep" in out
+        assert "per-partition compute skew" in out
+        assert "skew ratio" in out
+
+    def test_telemetry_reads_the_full_json_dump(self, tmp_path):
+        from repro.telemetry import Instrumentation, write_telemetry_json
+
+        instr = Instrumentation()
+        instr.tracer.record("compute p0", cat="compute", tid=0,
+                            virt_start=0.0, virt_end=1.0, edges_scanned=5)
+        dump = write_telemetry_json(instr, tmp_path / "dump.json")
+        out = run_cli("telemetry", str(dump))
+        assert "1 span(s)" in out
+        assert "compute" in out
