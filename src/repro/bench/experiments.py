@@ -22,6 +22,7 @@ Measurement conventions (see DESIGN.md):
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -35,6 +36,8 @@ from repro.bench.workload import QueryWorkload, random_sources
 from repro.core.batch import run_query_stream
 from repro.core.khop import concurrent_khop
 from repro.core.pagerank import pagerank
+from repro.core.wide import concurrent_khop_wide
+from repro.graph import rmat_edges
 from repro.graph.analysis import effective_diameter, hop_plot
 from repro.graph.datasets import DATASETS, dataset_table, load_dataset, runtime_scale
 from repro.graph.partition import PartitionedGraph, range_partition
@@ -66,6 +69,7 @@ __all__ = [
     "session_reuse",
     "index_vs_traversal",
     "telemetry_overhead",
+    "parallel_scaling",
 ]
 
 PAPER_BINS = np.arange(0.0, 2.2, 0.2)  # the Fig 11/12 histogram bins (seconds)
@@ -1360,4 +1364,143 @@ def telemetry_overhead(
         null_s=times["null"],
         recording_s=times["recording"],
         spans_recorded=instr.tracer.num_recorded,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Parallel scaling: the shared-memory worker pool vs the in-process engine
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ParallelScalingResult:
+    """Wall-clock drain time of one wide k-hop batch at each worker count.
+
+    For every ``worker_counts[i]`` the same ``num_queries``-query batch is
+    drained twice — on the in-process engine and on the persistent worker
+    pool — with the same partitioning, and the driver asserts the answers
+    (reach counts *and* virtual times) are bit-identical before timing
+    counts.  ``cores`` records how many CPUs the measuring process could
+    actually run on: on a single-core host the pool cannot speed anything
+    up, it can only bound its overhead.
+    """
+
+    num_queries: int
+    k: int
+    num_vertices: int
+    num_edges: int
+    cores: int
+    repeats: int
+    worker_counts: list[int]
+    inproc_wall_s: list[float]
+    pool_wall_s: list[float]
+
+    def speedup(self, workers: int) -> float:
+        """Pool speedup over the in-process engine at ``workers``."""
+        i = self.worker_counts.index(workers)
+        return self.inproc_wall_s[i] / max(self.pool_wall_s[i], 1e-12)
+
+    @property
+    def pool_scaling(self) -> list[float]:
+        """Pool wall-clock at 1 worker over pool wall-clock at each count."""
+        base = self.pool_wall_s[0]
+        return [base / max(t, 1e-12) for t in self.pool_wall_s]
+
+    @property
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "workers": w,
+                "cores": self.cores,
+                "inproc_wall_s": round(self.inproc_wall_s[i], 6),
+                "pool_wall_s": round(self.pool_wall_s[i], 6),
+                "speedup_vs_inproc": round(self.speedup(w), 3),
+                "pool_scaling_vs_1w": round(self.pool_scaling[i], 3),
+            }
+            for i, w in enumerate(self.worker_counts)
+        ]
+
+    def report(self) -> str:
+        table = format_table(
+            self.rows,
+            title=(
+                f"Parallel scaling: {self.num_queries}-query {self.k}-hop "
+                f"drain, RMAT n={self.num_vertices} m={self.num_edges}"
+            ),
+        )
+        best = max(self.worker_counts, key=self.speedup)
+        return (
+            f"{table}\n"
+            f"host cores available: {self.cores}\n"
+            f"best pool speedup: {self.speedup(best):.2f}x at {best} "
+            f"worker(s) (bit-identical answers asserted)"
+        )
+
+
+def parallel_scaling(
+    num_queries: int = 512,
+    k: int = 3,
+    vertex_scale: int = 13,
+    num_edges: int = 120_000,
+    worker_counts=(1, 2, 4),
+    repeats: int = 3,
+    seed: int = 11,
+    scale: float | None = None,
+) -> ParallelScalingResult:
+    """Drain one wide k-hop batch at 1/2/4 workers, pool vs in-process.
+
+    The workload is the service hot path: one ``num_queries``-wide
+    bit-parallel batch (multi-word planes) over a generated R-MAT graph.
+    Per worker count, both backends get one warm-up drain (installs
+    resident tasks; the pool additionally spawns workers and maps the
+    shared graph image — a one-time cost the persistent-pool design
+    amortises away, so it is excluded like session build time in
+    :func:`session_reuse`).  Timed rounds then interleave the two backends
+    and report each side's min over ``repeats``.  Answers must be
+    bit-identical, virtual times included.
+    """
+    if scale is not None:
+        num_edges = max(int(num_edges * scale), 2_000)
+        num_queries = int(np.clip(int(num_queries * scale), 64, 512))
+    el = rmat_edges(vertex_scale, num_edges, seed=seed)
+    el = el.remove_self_loops().deduplicate()
+    roots = random_sources(el, num_queries, seed=seed + 1)
+    cores = len(os.sched_getaffinity(0))
+
+    inproc_wall: list[float] = []
+    pool_wall: list[float] = []
+    for workers in worker_counts:
+        inproc = GraphSession(el, num_machines=workers)
+        ref = concurrent_khop_wide(el, roots, k, session=inproc)  # warm-up
+        with GraphSession(el, num_machines=workers, backend="pool") as pooled:
+            res = concurrent_khop_wide(el, roots, k, session=pooled)  # warm-up
+            if not np.array_equal(res.reached, ref.reached):
+                raise AssertionError(
+                    f"pool drain diverged from in-process at {workers} workers"
+                )
+            if res.virtual_seconds != ref.virtual_seconds:
+                raise AssertionError(
+                    f"pool virtual time diverged at {workers} workers"
+                )
+            t_in = t_pool = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                concurrent_khop_wide(el, roots, k, session=inproc)
+                t_in = min(t_in, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                concurrent_khop_wide(el, roots, k, session=pooled)
+                t_pool = min(t_pool, time.perf_counter() - t0)
+        inproc_wall.append(t_in)
+        pool_wall.append(t_pool)
+
+    return ParallelScalingResult(
+        num_queries=num_queries,
+        k=k,
+        num_vertices=el.num_vertices,
+        num_edges=el.num_edges,
+        cores=cores,
+        repeats=repeats,
+        worker_counts=list(worker_counts),
+        inproc_wall_s=inproc_wall,
+        pool_wall_s=pool_wall,
     )

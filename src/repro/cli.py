@@ -51,6 +51,7 @@ EXPERIMENTS = {
     "session-reuse": "session_reuse",
     "index-vs-traversal": "index_vs_traversal",
     "telemetry-overhead": "telemetry_overhead",
+    "parallel-scaling": "parallel_scaling",
 }
 
 

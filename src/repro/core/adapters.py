@@ -1,0 +1,146 @@
+"""Pool-backend adapters: picklable builders, probes and collectors.
+
+The pool backend (:mod:`repro.runtime.pool`) executes the *same*
+:class:`~repro.runtime.engine.PartitionTask` subclasses as the in-process
+engine, inside spawned worker processes.  Every callable that crosses the
+process boundary — task builders, resetters, per-step probes, gather
+functions, mid-run controls — must be a picklable module-level function,
+so the lambdas the in-process path passes to ``GraphSession.tasks_for``
+get module-level twins here.
+
+The functions mirror the in-process flow exactly:
+
+* ``build_*(machine, cluster, ...)`` — the task factory, one per worker;
+* ``reset_*(task, ...)`` — re-arm resident state for the next batch;
+* probes run worker-side after every ``finalize`` and return the small
+  summaries the entry points' ``on_step`` callbacks read off task state
+  in the in-process path (alive bits, target-visited bits);
+* gathers (`*_visited_counts`, ``khop_depths``, ``gas_values``) collect
+  per-partition results after the run;
+* ``mask_frontier`` is reachability's early-termination control, broadcast
+  by the coordinator between supersteps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gas import GASPartitionTask, VertexProgram
+from repro.core.khop import KHopPartitionTask
+from repro.core.wide import _WideKHopTask
+from repro.runtime.message import MessageBatch, _combine
+
+__all__ = [
+    "build_khop",
+    "reset_khop",
+    "khop_alive",
+    "khop_visited_counts",
+    "khop_depths",
+    "build_wide",
+    "reset_wide",
+    "wide_visited_counts",
+    "reach_probe",
+    "mask_frontier",
+    "build_gas",
+    "reset_gas",
+    "gas_values",
+    "combine_with",
+]
+
+#: Bytes per combined-batch payload entry, used to size outbox segments.
+WORD_PAYLOAD_WIDTH = 8
+
+
+# -- k-hop (word-wide) ------------------------------------------------------ #
+
+
+def build_khop(
+    machine, cluster, num_queries: int, k: int | None, record_depths: bool = False
+) -> KHopPartitionTask:
+    return KHopPartitionTask(
+        machine, cluster, num_queries, k, record_depths=record_depths
+    )
+
+
+def reset_khop(
+    task: KHopPartitionTask,
+    num_queries: int,
+    k: int | None,
+    record_depths: bool = False,
+) -> None:
+    task.reset(num_queries, k, record_depths=record_depths)
+
+
+def khop_alive(task: KHopPartitionTask) -> int:
+    """Probe: this partition's still-alive query bits after finalize."""
+    return int(task.state.alive_bits())
+
+
+def khop_visited_counts(task: KHopPartitionTask) -> np.ndarray:
+    return task.state.visited_counts()
+
+
+def khop_depths(task: KHopPartitionTask) -> np.ndarray | None:
+    return task.depths
+
+
+# -- k-hop (cache-line-wide) ------------------------------------------------ #
+
+
+def build_wide(machine, cluster, num_queries: int, k: int | None) -> _WideKHopTask:
+    return _WideKHopTask(machine, cluster, num_queries, k)
+
+
+def reset_wide(task: _WideKHopTask, num_queries: int, k: int | None) -> None:
+    task.reset(num_queries, k)
+
+
+def wide_visited_counts(task: _WideKHopTask) -> np.ndarray:
+    return task.state.visited_counts()
+
+
+# -- pairwise reachability -------------------------------------------------- #
+
+
+def reach_probe(
+    task: KHopPartitionTask, target_locals: list
+) -> tuple[int, list]:
+    """Probe: (alive bits, [(query, visited-bit)] for local targets)."""
+    alive = int(task.state.alive_bits())
+    hits = [
+        (q, int(task.state.visited[local]) >> q & 1) for q, local in target_locals
+    ]
+    return alive, hits
+
+
+def mask_frontier(task: KHopPartitionTask, keep: int) -> None:
+    """Control: clear resolved queries' bits from this partition's frontier."""
+    task.state.frontier &= np.uint64(keep)
+
+
+# -- GAS / PageRank --------------------------------------------------------- #
+
+
+def build_gas(
+    machine, cluster, program: VertexProgram, initial: np.ndarray
+) -> GASPartitionTask:
+    return GASPartitionTask(machine, cluster, program, initial)
+
+
+def reset_gas(
+    task: GASPartitionTask, program: VertexProgram, initial: np.ndarray
+) -> None:
+    task.reset(program, initial)
+
+
+def gas_values(task: GASPartitionTask) -> np.ndarray:
+    return task.values
+
+
+def combine_with(op: np.ufunc, batch: MessageBatch) -> MessageBatch:
+    """A picklable stand-in for ``run_gas``'s combiner closure.
+
+    Used as ``functools.partial(combine_with, program.combiner)`` — numpy
+    ufuncs pickle by name, closures do not.
+    """
+    return _combine(batch, op)

@@ -182,26 +182,50 @@ def run_gas(
     persistent ``session`` the partitioned graph and cluster are reused;
     program state (values, gathered aggregates, the precomputed edge
     expansion) is rebuilt per run since it belongs to the program instance.
+    On a ``backend="pool"`` session the iterations run on the worker pool
+    (``program`` must be picklable; results are bit-identical, including
+    float reduction order).
     """
     sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     pg = sess.pg
     cluster = sess.cluster
     sess.prepare()
     initial = program.initial_values(pg.num_vertices)
-    tasks = sess.tasks_for(
-        ("gas",),
-        lambda m: GASPartitionTask(m, cluster, program, initial),
-        lambda t: t.reset(program, initial),
-    )
 
-    def gas_combiner(batch: MessageBatch) -> MessageBatch:
-        return _combine(batch, program.combiner)
+    if sess.uses_pool:
+        if asynchronous:
+            raise ValueError("asynchronous mode requires backend='inproc'")
+        from functools import partial
 
-    result = sess.run_batch(
-        tasks, combiner=gas_combiner, asynchronous=asynchronous,
-        parallel_compute=parallel_compute, max_supersteps=iterations,
-    )
-    values = np.empty(pg.num_vertices, dtype=np.float64)
-    for t in tasks:
-        values[t.machine.lo : t.machine.hi] = t.values
+        from repro.core import adapters
+
+        task_kwargs = dict(program=program, initial=initial)
+        result = sess.run_batch_pool(
+            ("gas",),
+            adapters.build_gas, task_kwargs,
+            adapters.reset_gas, task_kwargs,
+            payload_width=adapters.WORD_PAYLOAD_WIDTH,
+            combiner=partial(adapters.combine_with, program.combiner),
+            max_supersteps=iterations,
+        )
+        values = np.empty(pg.num_vertices, dtype=np.float64)
+        for part, vals in zip(pg.partitions, sess.pool().gather(adapters.gas_values)):
+            values[part.lo : part.hi] = vals
+    else:
+        tasks = sess.tasks_for(
+            ("gas",),
+            lambda m: GASPartitionTask(m, cluster, program, initial),
+            lambda t: t.reset(program, initial),
+        )
+
+        def gas_combiner(batch: MessageBatch) -> MessageBatch:
+            return _combine(batch, program.combiner)
+
+        result = sess.run_batch(
+            tasks, combiner=gas_combiner, asynchronous=asynchronous,
+            parallel_compute=parallel_compute, max_supersteps=iterations,
+        )
+        values = np.empty(pg.num_vertices, dtype=np.float64)
+        for t in tasks:
+            values[t.machine.lo : t.machine.hi] = t.values
     return GASRun(values=values, iterations=result.supersteps, engine_result=result)

@@ -247,6 +247,9 @@ def concurrent_khop(
         A persistent :class:`~repro.runtime.session.GraphSession` to run the
         batch on; its graph/cluster are reused and its cached task list is
         reset in place.  Omitted, a transient session is built per call.
+        A ``backend="pool"`` session runs the batch on its worker pool
+        (bit-identical answers, real multicore wall-clock); ``use_edge_sets``
+        and ``asynchronous`` require the in-process backend.
 
     Returns a :class:`KHopResult`; virtual time comes from the cluster's
     network model and counted work.
@@ -257,27 +260,12 @@ def concurrent_khop(
     sources = sess.check_sources(sources, MAX_BATCH_WIDTH)
     num_queries = int(sources.size)
 
-    sess.prepare()
-    tasks = sess.tasks_for(
-        ("khop", use_edge_sets),
-        lambda m: KHopPartitionTask(
-            m, cluster, num_queries, k,
-            use_edge_sets=use_edge_sets, record_depths=record_depths,
-        ),
-        lambda t: t.reset(num_queries, k, record_depths=record_depths),
-    )
-    sess.seed_sources(tasks, sources)
-
     completion_level = np.full(num_queries, 0, dtype=np.int64)
     completion_seconds = np.zeros(num_queries, dtype=np.float64)
     done_mask = 0
 
-    def on_step(step_index: int, stats, now: float) -> None:
+    def note_level(step_index: int, now: float, alive_int: int) -> None:
         nonlocal done_mask
-        alive = np.uint64(0)
-        for t in tasks:
-            alive |= t.state.alive_bits()
-        alive_int = int(alive)
         for q in range(num_queries):
             if done_mask >> q & 1:
                 continue
@@ -293,26 +281,84 @@ def concurrent_khop(
     cap = max_supersteps
     if k is not None:
         cap = k if cap is None else min(cap, k)
-    result = sess.run_batch(
-        tasks,
-        combiner=combine_or,
-        asynchronous=asynchronous,
-        parallel_compute=parallel_compute,
-        max_supersteps=cap,
-        on_step=on_step,
-    )
 
-    reached = np.zeros(num_queries, dtype=np.int64)
-    for t in tasks:
-        reached += t.state.visited_counts()
+    sess.prepare()
+    if sess.uses_pool:
+        if use_edge_sets:
+            raise ValueError("use_edge_sets requires backend='inproc'")
+        if asynchronous:
+            raise ValueError("asynchronous mode requires backend='inproc'")
+        from repro.core import adapters
+
+        task_kwargs = dict(
+            num_queries=num_queries, k=k, record_depths=record_depths
+        )
+
+        def on_pool_step(step_index: int, stats, now: float, probes) -> None:
+            alive_int = 0
+            for bits in probes:
+                alive_int |= int(bits)
+            note_level(step_index, now, alive_int)
+
+        result = sess.run_batch_pool(
+            ("khop",),
+            adapters.build_khop, task_kwargs,
+            adapters.reset_khop, task_kwargs,
+            payload_width=adapters.WORD_PAYLOAD_WIDTH,
+            seeds=sess.seeds_by_machine(sources),
+            combiner=combine_or,
+            max_supersteps=cap,
+            on_step=on_pool_step,
+            probe=adapters.khop_alive,
+        )
+        pool = sess.pool()
+        reached = np.zeros(num_queries, dtype=np.int64)
+        for counts in pool.gather(adapters.khop_visited_counts):
+            reached += counts
+        per_part_depths = (
+            pool.gather(adapters.khop_depths) if record_depths else None
+        )
+    else:
+        tasks = sess.tasks_for(
+            ("khop", use_edge_sets),
+            lambda m: KHopPartitionTask(
+                m, cluster, num_queries, k,
+                use_edge_sets=use_edge_sets, record_depths=record_depths,
+            ),
+            lambda t: t.reset(num_queries, k, record_depths=record_depths),
+        )
+        sess.seed_sources(tasks, sources)
+
+        def on_step(step_index: int, stats, now: float) -> None:
+            alive = np.uint64(0)
+            for t in tasks:
+                alive |= t.state.alive_bits()
+            note_level(step_index, now, int(alive))
+
+        result = sess.run_batch(
+            tasks,
+            combiner=combine_or,
+            asynchronous=asynchronous,
+            parallel_compute=parallel_compute,
+            max_supersteps=cap,
+            on_step=on_step,
+        )
+
+        reached = np.zeros(num_queries, dtype=np.int64)
+        for t in tasks:
+            reached += t.state.visited_counts()
+        per_part_depths = (
+            [t.depths for t in tasks] if record_depths else None
+        )
+
     # queries that never produced a superstep (e.g. k == 0) complete at t=0
     completion_seconds[completion_level == 0] = 0.0
 
     depths = None
     if record_depths:
         depths = np.full((pg.num_vertices, num_queries), -1, dtype=np.int16)
-        for t in tasks:
-            depths[t.machine.lo : t.machine.hi] = t.depths
+        for part, d in zip(pg.partitions, per_part_depths):
+            depths[part.lo : part.hi] = d
         for q, s in enumerate(sources):
             depths[int(s), q] = 0
 

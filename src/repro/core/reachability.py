@@ -77,16 +77,6 @@ def reachability_queries(
     num_queries = int(sources.size)
     targets = sess.check_targets(targets, num_queries)
 
-    sess.prepare()
-    tasks = sess.tasks_for(
-        ("reach", use_edge_sets),
-        lambda m: KHopPartitionTask(
-            m, cluster, num_queries, k, use_edge_sets=use_edge_sets
-        ),
-        lambda t: t.reset(num_queries, k),
-    )
-    sess.seed_sources(tasks, sources)
-
     reachable = sources == targets
     hops = np.where(reachable, 0, -1).astype(np.int64)
     resolution = np.zeros(num_queries)
@@ -96,24 +86,22 @@ def reachability_queries(
     target_machine = pg.owner_of(targets)
     target_local = targets - pg.bounds[target_machine]
 
-    def on_step(step_index: int, stats, now: float) -> None:
+    def settle(level: int, now: float, alive: int, hit_bits: int) -> int:
+        """Update verdicts for one level; returns the new resolved mask.
+
+        ``hit_bits[q]`` — query q's target became visited; identical logic
+        for both backends keeps verdicts (and the early-termination mask,
+        hence all later traffic and virtual times) bit-identical.
+        """
         nonlocal resolved_mask
-        level = step_index + 1
-        # 1. did any pending query just reach its target?
         for q in range(num_queries):
             if resolved_mask >> q & 1:
                 continue
-            t_task = tasks[int(target_machine[q])]
-            word = int(t_task.state.visited[int(target_local[q])])
-            if word >> q & 1:
+            if hit_bits >> q & 1:
                 reachable[q] = True
                 hops[q] = level
                 resolution[q] = now
                 resolved_mask |= 1 << q
-        # 2. did any pending query run out of frontier or budget?
-        alive = 0
-        for t in tasks:
-            alive |= int(t.state.alive_bits())
         for q in range(num_queries):
             if resolved_mask >> q & 1:
                 continue
@@ -122,15 +110,79 @@ def reachability_queries(
             if dead or exhausted:
                 resolution[q] = now
                 resolved_mask |= 1 << q
-        # 3. early termination: drop resolved queries from every frontier
-        if resolved_mask:
-            keep = np.uint64(~resolved_mask & 0xFFFFFFFFFFFFFFFF)
-            for t in tasks:
-                t.state.frontier &= keep
+        return resolved_mask
 
-    result = sess.run_batch(
-        tasks, combiner=combine_or, max_supersteps=k, on_step=on_step
-    )
+    sess.prepare()
+    if sess.uses_pool:
+        if use_edge_sets:
+            raise ValueError("use_edge_sets requires backend='inproc'")
+        from repro.core import adapters
+
+        task_kwargs = dict(num_queries=num_queries, k=k)
+        probe_args = [[] for _ in range(sess.num_machines)]
+        for q in range(num_queries):
+            probe_args[int(target_machine[q])].append(
+                (q, int(target_local[q]))
+            )
+
+        def on_pool_step(step_index: int, stats, now: float, probes):
+            level = step_index + 1
+            alive = 0
+            hit_bits = 0
+            for worker_alive, hits in probes:
+                alive |= worker_alive
+                for q, bit in hits:
+                    hit_bits |= bit << q
+            mask = settle(level, now, alive, hit_bits)
+            if mask:
+                keep = ~mask & 0xFFFFFFFFFFFFFFFF
+                return adapters.mask_frontier, (keep,)
+            return None
+
+        result = sess.run_batch_pool(
+            ("reach",),
+            adapters.build_khop, task_kwargs,
+            adapters.reset_khop, task_kwargs,
+            payload_width=adapters.WORD_PAYLOAD_WIDTH,
+            seeds=sess.seeds_by_machine(sources),
+            combiner=combine_or,
+            max_supersteps=k,
+            on_step=on_pool_step,
+            probe=adapters.reach_probe,
+            probe_args=[(arg,) for arg in probe_args],
+        )
+    else:
+        tasks = sess.tasks_for(
+            ("reach", use_edge_sets),
+            lambda m: KHopPartitionTask(
+                m, cluster, num_queries, k, use_edge_sets=use_edge_sets
+            ),
+            lambda t: t.reset(num_queries, k),
+        )
+        sess.seed_sources(tasks, sources)
+
+        def on_step(step_index: int, stats, now: float) -> None:
+            level = step_index + 1
+            hit_bits = 0
+            for q in range(num_queries):
+                if resolved_mask >> q & 1:
+                    continue
+                t_task = tasks[int(target_machine[q])]
+                word = int(t_task.state.visited[int(target_local[q])])
+                hit_bits |= (word >> q & 1) << q
+            alive = 0
+            for t in tasks:
+                alive |= int(t.state.alive_bits())
+            mask = settle(level, now, alive, hit_bits)
+            # early termination: drop resolved queries from every frontier
+            if mask:
+                keep = np.uint64(~mask & 0xFFFFFFFFFFFFFFFF)
+                for t in tasks:
+                    t.state.frontier &= keep
+
+        result = sess.run_batch(
+            tasks, combiner=combine_or, max_supersteps=k, on_step=on_step
+        )
 
     total = result.total_stats()
     return ReachabilityResult(

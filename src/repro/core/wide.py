@@ -195,25 +195,49 @@ def concurrent_khop_wide(
     netmodel: NetworkModel | None = None,
     session: GraphSession | None = None,
 ) -> WideKHopResult:
-    """Run up to 512 k-hop queries in one multi-word bit-parallel batch."""
+    """Run up to 512 k-hop queries in one multi-word bit-parallel batch.
+
+    On a ``backend="pool"`` session the batch executes on the persistent
+    worker pool with bit-identical answers; the 2-D payload planes ride in
+    per-worker shared-memory outboxes.
+    """
     sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     cluster = sess.cluster
     sources = sess.check_sources(sources, MAX_WIDE_BATCH)
     num_queries = int(sources.size)
+    words = (num_queries + _WORD_BITS - 1) // _WORD_BITS
 
     sess.prepare()
-    tasks = sess.tasks_for(
-        ("wide",),
-        lambda m: _WideKHopTask(m, cluster, num_queries, k),
-        lambda t: t.reset(num_queries, k),
-    )
-    sess.seed_sources(tasks, sources)
+    if sess.uses_pool:
+        from repro.core import adapters
 
-    result = sess.run_batch(tasks, combiner=combine_or, max_supersteps=k)
+        task_kwargs = dict(num_queries=num_queries, k=k)
+        result = sess.run_batch_pool(
+            ("wide",),
+            adapters.build_wide, task_kwargs,
+            adapters.reset_wide, task_kwargs,
+            payload_width=adapters.WORD_PAYLOAD_WIDTH * words,
+            seeds=sess.seeds_by_machine(sources),
+            combiner=combine_or,
+            max_supersteps=k,
+        )
+        reached = np.zeros(num_queries, dtype=np.int64)
+        for counts in sess.pool().gather(adapters.wide_visited_counts):
+            reached += counts
+    else:
+        tasks = sess.tasks_for(
+            ("wide",),
+            lambda m: _WideKHopTask(m, cluster, num_queries, k),
+            lambda t: t.reset(num_queries, k),
+        )
+        sess.seed_sources(tasks, sources)
 
-    reached = np.zeros(num_queries, dtype=np.int64)
-    for t in tasks:
-        reached += t.state.visited_counts()
+        result = sess.run_batch(tasks, combiner=combine_or, max_supersteps=k)
+
+        reached = np.zeros(num_queries, dtype=np.int64)
+        for t in tasks:
+            reached += t.state.visited_counts()
+
     total = result.total_stats()
     return WideKHopResult(
         sources=sources,
@@ -222,5 +246,5 @@ def concurrent_khop_wide(
         virtual_seconds=result.virtual_seconds,
         supersteps=result.supersteps,
         total_edges_scanned=total.edges_scanned,
-        words=tasks[0].state.words if tasks else 0,
+        words=words,
     )

@@ -27,7 +27,16 @@ from repro.graph.csr import CSR, build_csr
 from repro.graph.edgelist import EdgeList
 from repro.graph.edgeset import EdgeSetMatrix, degree_balanced_ranges
 
-__all__ = ["Partition", "PartitionedGraph", "range_partition"]
+__all__ = ["Partition", "PartitionedGraph", "range_partition", "owner_of_bounds"]
+
+
+def owner_of_bounds(bounds: np.ndarray, v) -> np.ndarray | int:
+    """Vectorised owner lookup against partition bounds alone.
+
+    The pool workers route messages with only the bounds array (a shared
+    view) in hand — no :class:`PartitionedGraph` exists worker-side.
+    """
+    return np.searchsorted(bounds, np.asarray(v), side="right") - 1
 
 
 @dataclass
@@ -121,8 +130,7 @@ class PartitionedGraph:
 
     def owner_of(self, v) -> np.ndarray | int:
         """Vectorised owner lookup: global id(s) -> partition id(s)."""
-        out = np.searchsorted(self.bounds, np.asarray(v), side="right") - 1
-        return out
+        return owner_of_bounds(self.bounds, v)
 
     def partition_of(self, v: int) -> Partition:
         """The :class:`Partition` owning global vertex ``v``."""

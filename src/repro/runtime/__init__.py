@@ -20,6 +20,10 @@ Layers:
 * :mod:`repro.runtime.session` — the persistent per-graph session: the
   partitioned graph, cluster and task state built once and reused across
   query batches (build once, serve many).
+* :mod:`repro.runtime.shm` / :mod:`repro.runtime.pool` — the parallel
+  execution backend (``GraphSession(backend="pool")``): one persistent OS
+  process per machine, graph shards and message payloads in shared memory,
+  bit-identical to the in-process engine.
 * :mod:`repro.runtime.scheduler` — concurrent-query admission: the online
   :class:`~repro.runtime.scheduler.QueryService` admission loop plus the
   offline batch/pool simulators, producing per-query response times.
@@ -30,6 +34,7 @@ from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
 from repro.runtime.cluster import Machine, SimCluster
 from repro.runtime.engine import PartitionTask, SuperstepEngine, EngineResult
 from repro.runtime.session import GraphSession
+from repro.runtime.pool import PoolError, WorkerPool
 from repro.runtime.scheduler import (
     QueryScheduler,
     QueryService,
@@ -41,6 +46,8 @@ from repro.runtime.scheduler import (
 
 __all__ = [
     "GraphSession",
+    "WorkerPool",
+    "PoolError",
     "QueryService",
     "ServiceReport",
     "MessageBatch",

@@ -41,6 +41,11 @@ class Machine:
     def num_local(self) -> int:
         return self.partition.num_local
 
+    def reset_buffers(self) -> None:
+        """Drop queued messages (shared by the cluster and pool workers)."""
+        self.inbox = TaskBuffer()
+        self.outbox = TaskBuffer()
+
 
 class SimCluster:
     """The set of machines executing one partitioned graph.
@@ -83,8 +88,7 @@ class SimCluster:
     def reset_buffers(self) -> None:
         """Drop any queued messages (used between independent runs)."""
         for m in self.machines:
-            m.inbox = TaskBuffer()
-            m.outbox = TaskBuffer()
+            m.reset_buffers()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimCluster(machines={self.num_machines}, graph={self.pg!r})"

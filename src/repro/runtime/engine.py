@@ -28,7 +28,38 @@ from repro.runtime.comm import deliver_async, exchange_sync
 from repro.runtime.message import combine_or
 from repro.runtime.netmodel import StepStats, VirtualClock
 
-__all__ = ["PartitionTask", "SuperstepEngine", "EngineResult"]
+__all__ = ["PartitionTask", "SuperstepEngine", "EngineResult", "emit_superstep"]
+
+
+def emit_superstep(
+    instr,
+    netmodel,
+    step: int,
+    stats,
+    clock,
+    vbase: float,
+    wall_start: float,
+    wall_end: float,
+    wall_compute=None,
+) -> None:
+    """Record one superstep on the telemetry facade.
+
+    Shared by the in-process engine and the pool coordinator so both
+    backends emit identical span taxonomies; the pool additionally passes
+    per-worker wall-clock compute times (``wall_compute``), which the facade
+    attaches to the per-machine compute spans alongside the virtual cost.
+    """
+    now = clock.now
+    instr.on_superstep(
+        step,
+        stats,
+        netmodel,
+        vbase + now - clock.per_step[-1],
+        vbase + now,
+        wall_start,
+        wall_end,
+        wall_compute=wall_compute,
+    )
 
 
 class PartitionTask(ABC):
@@ -201,14 +232,9 @@ class SuperstepEngine:
             active = any(votes)
             now = clock.advance(self.netmodel.superstep_seconds(stats))
             if tracing:
-                instr.on_superstep(
-                    step,
-                    stats,
-                    self.netmodel,
-                    vbase + now - clock.per_step[-1],
-                    vbase + now,
-                    wall0,
-                    time.perf_counter(),
+                emit_superstep(
+                    instr, self.netmodel, step, stats, clock, vbase,
+                    wall0, time.perf_counter(),
                 )
             history.append(stats)
             step += 1

@@ -1,31 +1,31 @@
-"""A real multi-process backend for concurrent k-hop batches.
+"""Deprecated per-call multi-process k-hop — now a shim over the pool.
 
-The simulated cluster (:mod:`repro.runtime.engine`) executes all machines in
-one process and charges a cost model; this module is the complementary
-demonstration that the partition-centric protocol runs **over real process
-boundaries**: one OS process per machine, numpy-buffer messages over pipes
-(the mpi4py idiom of shipping arrays, not objects), a coordinator playing
-the role of the interconnect, and a barrier per superstep — structurally the
-paper's Socket/MPI deployment at laptop scale.
+The original module spawned one process per machine *per call*, pickled the
+partition arrays to each worker, ran one batch, and tore everything down —
+paying full spawn + pickle cost every time.  That execution substrate now
+lives in :mod:`repro.runtime.pool` as a first-class session backend: a
+persistent worker pool with the graph image and message payloads in shared
+memory, reused across batches.
 
-Answers are bit-identical to the in-process engine (the protocol is the
-same); only the execution substrate differs.  Use it when you want actual
-multicore parallelism for a large batch:
+:func:`mp_concurrent_khop` remains as a deprecated alias so existing
+callers keep working: it builds a transient ``backend="pool"`` session,
+runs the batch, and shuts the pool down.  New code should hold a session
+instead::
 
->>> from repro.runtime.mp_backend import mp_concurrent_khop
->>> result = mp_concurrent_khop(edges, sources=[0, 1, 2], k=3, num_machines=4)
+    with GraphSession(edges, num_machines=4, backend="pool") as sess:
+        result = sess.khop(sources, k)      # pool survives across batches
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.frontier import MAX_BATCH_WIDTH, BitFrontier
 from repro.graph.edgelist import EdgeList
-from repro.graph.partition import Partition, PartitionedGraph, range_partition
+from repro.graph.partition import PartitionedGraph, range_partition
+from repro.runtime.session import GraphSession
 
 __all__ = ["MPKHopResult", "mp_concurrent_khop"]
 
@@ -41,78 +41,6 @@ class MPKHopResult:
     num_machines: int
 
 
-def _worker(
-    conn,
-    part_lo: int,
-    part_hi: int,
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    bounds: np.ndarray,
-    num_queries: int,
-    k: int | None,
-    seeds: list[tuple[int, int]],
-) -> None:
-    """One machine: expand local frontier on command, exchange via the pipe.
-
-    Protocol (coordinator -> worker):
-      ("expand",)            -> reply ("out", [(dest, verts, bits), ...])
-      ("inbox", batches)     -> apply, promote; reply ("alive", alive_bits)
-      ("finish",)            -> reply ("visited", per_query_counts); exit
-    """
-    num_local = part_hi - part_lo
-    state = BitFrontier(num_local, num_queries)
-    for local_vertex, q in seeds:
-        state.seed(local_vertex, q)
-    level = 0
-    while True:
-        msg = conn.recv()
-        kind = msg[0]
-        if kind == "expand":
-            out: list[tuple[int, np.ndarray, np.ndarray]] = []
-            if k is None or level < k:
-                active = state.active_vertices()
-                if active.size:
-                    bits = state.frontier[active]
-                    starts = indptr[active]
-                    ends = indptr[active + 1]
-                    counts = ends - starts
-                    pos = _expand_ranges(starts, ends)
-                    targets = indices[pos]
-                    ebits = np.repeat(bits, counts)
-                    local_mask = (targets >= part_lo) & (targets < part_hi)
-                    if local_mask.any():
-                        state.or_into_next(
-                            targets[local_mask] - part_lo, ebits[local_mask]
-                        )
-                    remote = ~local_mask
-                    if remote.any():
-                        rt, rb = targets[remote], ebits[remote]
-                        owners = np.searchsorted(bounds, rt, side="right") - 1
-                        for dest in np.unique(owners):
-                            sel = owners == dest
-                            out.append((int(dest), rt[sel], rb[sel]))
-            conn.send(("out", out))
-        elif kind == "inbox":
-            for verts, bits in msg[1]:
-                state.or_into_next(verts - part_lo, bits)
-            state.promote()
-            level += 1
-            conn.send(("alive", int(state.alive_bits())))
-        elif kind == "finish":
-            conn.send(("visited", state.visited_counts()))
-            conn.close()
-            return
-        else:  # pragma: no cover - protocol misuse guard
-            raise RuntimeError(f"unknown command {kind!r}")
-
-
-def _expand_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
-    # local copy of the cumsum trick (workers must not import test helpers)
-    from repro.graph.csr import expand_ranges
-
-    return expand_ranges(starts, ends)
-
-
 def mp_concurrent_khop(
     graph: EdgeList | PartitionedGraph,
     sources,
@@ -120,96 +48,29 @@ def mp_concurrent_khop(
     num_machines: int = 2,
     start_method: str | None = None,
 ) -> MPKHopResult:
-    """Run a concurrent k-hop batch with one OS process per machine.
+    """Deprecated: run one k-hop batch on a throwaway worker pool.
 
-    ``start_method`` defaults to the platform default (``fork`` on Linux,
-    which shares the partition arrays copy-on-write).  Answers equal
-    :func:`repro.core.khop.concurrent_khop` exactly.
+    Use ``GraphSession(graph, num_machines=p, backend="pool")`` instead —
+    the pool persists across batches, which is the whole point.  Answers
+    equal :func:`repro.core.khop.concurrent_khop` exactly.  ``start_method``
+    is ignored: the pool always uses ``spawn`` for determinism.
     """
+    warnings.warn(
+        "mp_concurrent_khop is deprecated; use "
+        "GraphSession(..., backend='pool') for a persistent worker pool",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if isinstance(graph, PartitionedGraph):
         pg = graph
     else:
         pg = range_partition(graph, num_machines)
-    sources = np.asarray(sources, dtype=np.int64)
-    num_queries = int(sources.size)
-    if not 1 <= num_queries <= MAX_BATCH_WIDTH:
-        raise ValueError(f"need 1..{MAX_BATCH_WIDTH} sources")
-    if sources.size and (sources.min() < 0 or sources.max() >= pg.num_vertices):
-        raise ValueError("source vertex out of range")
-
-    ctx = mp.get_context(start_method) if start_method else mp.get_context()
-    pipes = []
-    procs = []
-    seeds_per_machine: list[list[tuple[int, int]]] = [
-        [] for _ in pg.partitions
-    ]
-    for q, s in enumerate(sources):
-        pid = int(pg.owner_of(int(s)))
-        seeds_per_machine[pid].append((int(s) - pg.partitions[pid].lo, q))
-    for part in pg.partitions:
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=_worker,
-            args=(
-                child_conn,
-                part.lo,
-                part.hi,
-                part.out_csr.indptr,
-                part.out_csr.indices,
-                pg.bounds,
-                num_queries,
-                k,
-                seeds_per_machine[part.part_id],
-            ),
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()
-        pipes.append(parent_conn)
-        procs.append(proc)
-
-    supersteps = 0
-    try:
-        while True:
-            # phase 1: all machines expand; coordinator collects outboxes
-            for conn in pipes:
-                conn.send(("expand",))
-            routed: list[list[tuple[np.ndarray, np.ndarray]]] = [
-                [] for _ in pipes
-            ]
-            for conn in pipes:
-                kind, out = conn.recv()
-                assert kind == "out"
-                for dest, verts, bits in out:
-                    routed[dest].append((verts, bits))
-            # phase 2: deliver inboxes (the barrier), collect liveness votes
-            alive = 0
-            for conn, inbox in zip(pipes, routed):
-                conn.send(("inbox", inbox))
-            for conn in pipes:
-                kind, bits = conn.recv()
-                assert kind == "alive"
-                alive |= bits
-            supersteps += 1
-            if alive == 0 or (k is not None and supersteps >= k):
-                break
-        reached = np.zeros(num_queries, dtype=np.int64)
-        for conn in pipes:
-            conn.send(("finish",))
-        for conn in pipes:
-            kind, counts = conn.recv()
-            assert kind == "visited"
-            reached += counts
-    finally:
-        for proc in procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung worker guard
-                proc.terminate()
-
+    with GraphSession(pg, backend="pool") as sess:
+        result = sess.khop(sources, k)
     return MPKHopResult(
-        sources=sources,
+        sources=result.sources,
         k=k,
-        reached=reached,
-        supersteps=supersteps,
+        reached=result.reached,
+        supersteps=result.supersteps,
         num_machines=pg.num_partitions,
     )

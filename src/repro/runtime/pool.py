@@ -1,0 +1,467 @@
+"""The persistent shared-memory worker pool: real multicore supersteps.
+
+The simulated cluster executes every machine serially in one process and
+*charges* a cost model; this module is the execution backend that actually
+uses the cores.  One long-lived OS process per simulated machine attaches
+the shared graph image once (:mod:`repro.runtime.shm`), keeps its
+:class:`~repro.runtime.engine.PartitionTask` state resident across batches,
+and runs the identical superstep protocol:
+
+1. the coordinator broadcasts ``compute``; every worker expands its local
+   frontier, combines its outbox per destination (exactly as
+   :func:`~repro.runtime.comm.exchange_sync` would), writes the combined
+   batches into its own shared-memory outbox segment, and replies with
+   small :class:`~repro.runtime.shm.BatchRef` control records;
+2. the coordinator routes the refs by destination and broadcasts ``apply``;
+   every worker reads its inbound batches as zero-copy views (sender-
+   ascending order — the same reduction order as the in-process inbox),
+   applies, finalizes, and votes;
+3. the coordinator advances the same :class:`~repro.runtime.netmodel.
+   VirtualClock` from the per-worker :class:`StepStats`, so virtual times
+   are bit-identical to the in-process engine.
+
+Only control records, stats and probe results cross the pipes; payload
+arrays never leave shared memory.  The pool survives across batches
+(``ensure_task`` re-arms resident task state), composing PR 1's
+session-reuse win with real parallelism.
+
+Determinism: the start method is always ``spawn`` (no inherited state),
+each worker owns a :func:`numpy.random.default_rng` seeded from the pool
+seed and its worker id, and shutdown is explicit
+(:meth:`WorkerPool.shutdown`, wired to ``GraphSession.close()`` and
+``atexit``) with a terminate fallback so pytest never leaks processes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import secrets
+import time
+import traceback
+
+import numpy as np
+
+from repro.graph.partition import PartitionedGraph, owner_of_bounds
+from repro.runtime.cluster import Machine
+from repro.runtime.engine import EngineResult, emit_superstep
+from repro.runtime.message import MessageBatch, TaskBuffer, combine_or
+from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
+from repro.runtime.shm import (
+    OutboxReader,
+    OutboxWriter,
+    attach_graph,
+    build_graph_image,
+    create_segment,
+)
+
+__all__ = ["WorkerPool", "PoolError"]
+
+#: Upper bound on per-entry vertex-id bytes in a combined batch (int64).
+_VERTEX_BYTES = 8
+
+
+class PoolError(RuntimeError):
+    """A worker raised; the embedded traceback is the worker's."""
+
+
+class _WorkerCluster:
+    """The slice of :class:`SimCluster` a task can see inside a worker.
+
+    Tasks only ever call ``cluster.owner_of`` — routing needs the bounds
+    array (a shared view), nothing else.  ``rng`` is the worker's seeded
+    generator, there for any task that needs deterministic randomness.
+    """
+
+    def __init__(self, bounds: np.ndarray, rng: np.random.Generator):
+        self.bounds = bounds
+        self.rng = rng
+
+    def owner_of(self, vertices) -> np.ndarray | int:
+        return owner_of_bounds(self.bounds, vertices)
+
+
+def _worker_main(conn, manifest, worker_id: int, rng_seed: int) -> None:
+    """One pool worker: attach the image once, then serve ops until close.
+
+    Every callable received over the pipe (task builders, resetters,
+    probes) must be a picklable module-level function — see
+    :mod:`repro.core.adapters`.
+    """
+    image = attach_graph(manifest)
+    machine = Machine(worker_id, image.partitions[worker_id])
+    cluster = _WorkerCluster(image.bounds, np.random.default_rng(rng_seed))
+    writer = OutboxWriter(worker_id)
+    reader = OutboxReader()
+    tasks: dict = {}
+    current = None
+    combiner = combine_or
+    probe = None
+    probe_args: tuple = ()
+    step_stats: StepStats | None = None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:  # pragma: no cover - parent died
+                break
+            op = msg[0]
+            try:
+                if op == "compute":
+                    stats = StepStats()
+                    t0 = time.perf_counter()
+                    current.compute(stats)
+                    writer.begin()
+                    refs = []
+                    outbox = machine.outbox
+                    for dest in outbox.partitions():
+                        merged = outbox.merged(dest, combiner=combiner)
+                        if merged is None or merged.num_tasks == 0:
+                            continue
+                        if dest == worker_id:
+                            raise AssertionError(
+                                "local tasks must not go through the outbox"
+                            )
+                        stats.record_send(dest, merged.nbytes(), merged.num_tasks)
+                        refs.append(
+                            writer.write(dest, merged.vertices, merged.payload)
+                        )
+                    machine.outbox = TaskBuffer()
+                    step_stats = stats
+                    conn.send(("out", refs, time.perf_counter() - t0))
+                elif op == "apply":
+                    t0 = time.perf_counter()
+                    stats = step_stats if step_stats is not None else StepStats()
+                    step_stats = None
+                    for sender, ref in msg[1]:
+                        vertices, payload = reader.view(ref)
+                        machine.inbox.append(
+                            sender, MessageBatch(vertices, payload)
+                        )
+                    current.apply_inbox(stats)
+                    vote = current.finalize()
+                    result = probe(current, *probe_args) if probe else None
+                    conn.send(
+                        ("step", vote, stats, result, time.perf_counter() - t0)
+                    )
+                elif op == "install":
+                    _, key, build, kwargs = msg
+                    machine.reset_buffers()
+                    current = build(machine, cluster, **kwargs)
+                    tasks[key] = current
+                    conn.send(("ok", None))
+                elif op == "reset":
+                    _, key, reset, kwargs = msg
+                    current = tasks[key]
+                    reset(current, **kwargs)
+                    conn.send(("ok", None))
+                elif op == "seed":
+                    for local_vertex, query in msg[1]:
+                        current.seed(local_vertex, query)
+                    conn.send(("ok", None))
+                elif op == "arm":
+                    _, combiner, probe, args = msg
+                    probe_args = tuple(args) if args else ()
+                    conn.send(("ok", None))
+                elif op == "call":
+                    _, fn, args, kwargs = msg
+                    conn.send(("ok", fn(current, *args, **(kwargs or {}))))
+                elif op == "outbox":
+                    writer.attach(msg[1])
+                    conn.send(("ok", None))
+                elif op == "prepare":
+                    machine.reset_buffers()
+                    step_stats = None
+                    conn.send(("ok", None))
+                elif op == "close":
+                    conn.send(("ok", None))
+                    break
+                else:  # pragma: no cover - protocol misuse guard
+                    raise RuntimeError(f"unknown op {op!r}")
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        tasks.clear()
+        current = None
+        machine = None
+        reader.close()
+        writer.close()
+        image.close()
+        conn.close()
+
+
+class WorkerPool:
+    """A persistent pool of one process per partition of one graph.
+
+    Created lazily by ``GraphSession(backend="pool")`` and reused for every
+    batch until :meth:`shutdown`.  The parent owns every shared-memory
+    segment (graph image + per-worker outboxes) and unlinks them all on
+    shutdown; workers only ever attach.
+    """
+
+    def __init__(
+        self,
+        pg: PartitionedGraph,
+        netmodel: NetworkModel | None = None,
+        instrumentation=None,
+        start_method: str = "spawn",
+        seed: int = 0,
+    ):
+        from repro.telemetry.instrument import NULL_INSTRUMENTATION
+
+        self.pg = pg
+        self.netmodel = netmodel or NetworkModel()
+        self.instr = instrumentation or NULL_INSTRUMENTATION
+        self.num_workers = pg.num_partitions
+        self.rng_seed = seed
+        self._token = secrets.token_hex(4)
+        self._image, manifest = build_graph_image(pg, f"cgp{self._token}")
+        self._outboxes: list = [None] * self.num_workers
+        self._outbox_width = 0
+        self._outbox_gen = 0
+        self._installed: set = set()
+        self._closed = False
+        ctx = mp.get_context(start_method)
+        self._conns = []
+        self._procs = []
+        try:
+            for i in range(self.num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, manifest, i, seed * 7919 + i),
+                    name=f"repro-pool-{self._token}-{i}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.shutdown()
+            raise
+        atexit.register(self.shutdown)
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def segment_names(self) -> list[str]:
+        """Names of every live segment this pool owns (leak checks)."""
+        segments = [self._image] + [s for s in self._outboxes if s is not None]
+        return [s.name for s in segments]
+
+    def shutdown(self) -> None:
+        """Stop every worker and unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.shutdown)
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(5):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker guard
+                proc.terminate()
+                proc.join(timeout=5)
+        for shm in [self._image] + [s for s in self._outboxes if s is not None]:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._outboxes = [None] * self.num_workers
+        self._conns = []
+        self._procs = []
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+
+    # -- pipe plumbing ------------------------------------------------------ #
+
+    def _recv(self, conn):
+        try:
+            reply = conn.recv()
+        except (EOFError, ConnectionResetError) as exc:
+            raise PoolError(
+                "pool worker died before replying. If this happened right "
+                "after pool startup, the spawned child may have failed to "
+                "re-import __main__: pool-using code must live in a real "
+                "module file with an `if __name__ == '__main__':` guard "
+                "(not a stdin/-c script)."
+            ) from exc
+        if reply[0] == "err":
+            raise PoolError(f"pool worker failed:\n{reply[1]}")
+        return reply[1:]
+
+    def _broadcast(self, message) -> list:
+        for conn in self._conns:
+            conn.send(message)
+        return [self._recv(conn)[0] for conn in self._conns]
+
+    def _send_each(self, messages) -> list:
+        for conn, message in zip(self._conns, messages):
+            conn.send(message)
+        return [self._recv(conn)[0] for conn in self._conns]
+
+    # -- batch protocol ------------------------------------------------------ #
+
+    def ensure_task(
+        self,
+        key: tuple,
+        build,
+        build_kwargs: dict,
+        reset,
+        reset_kwargs: dict,
+        payload_width: int,
+    ) -> None:
+        """Install a task on every worker, or reset the resident one.
+
+        Mirrors ``GraphSession.tasks_for``: the first batch under ``key``
+        builds task state inside each worker; later batches re-arm it in
+        place.  ``payload_width`` (bytes per combined-batch entry) sizes the
+        outbox segments.
+        """
+        self._check_open()
+        self._ensure_outboxes(payload_width)
+        if key in self._installed:
+            self._broadcast(("reset", key, reset, reset_kwargs))
+        else:
+            self._broadcast(("install", key, build, build_kwargs))
+            self._installed.add(key)
+
+    def _ensure_outboxes(self, payload_width: int) -> None:
+        """Grow per-worker outbox segments to fit ``payload_width`` entries.
+
+        A combined per-destination batch holds distinct vertices only, so a
+        worker's whole outbox never exceeds ``min(out_edges, n)`` entries —
+        a static bound that makes mid-superstep growth impossible.
+        """
+        if payload_width <= self._outbox_width and self._outboxes[0] is not None:
+            return
+        self._outbox_width = max(payload_width, self._outbox_width)
+        self._outbox_gen += 1
+        old = list(self._outboxes)
+        messages = []
+        for i, part in enumerate(self.pg.partitions):
+            entries = min(part.num_out_edges, self.pg.num_vertices)
+            capacity = (
+                entries * (_VERTEX_BYTES + self._outbox_width)
+                + 64 * self.num_workers
+                + 1024
+            )
+            shm = create_segment(
+                f"cgp{self._token}o{i}g{self._outbox_gen}", capacity
+            )
+            self._outboxes[i] = shm
+            messages.append(("outbox", shm.name))
+        self._send_each(messages)
+        for shm in old:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+
+    def prepare(self) -> None:
+        """Drop queued worker-side buffers before a batch."""
+        self._check_open()
+        self._broadcast(("prepare",))
+
+    def seed(self, per_worker_seeds) -> None:
+        """Deliver each worker its ``(local_vertex, query)`` seed list."""
+        self._check_open()
+        self._send_each([("seed", seeds) for seeds in per_worker_seeds])
+
+    def arm(self, combiner=combine_or, probe=None, probe_args=None) -> None:
+        """Set the run's combiner and optional per-step probe.
+
+        ``probe(task, *args)`` runs worker-side after every finalize; its
+        results arrive in machine order as the fourth ``on_step`` argument.
+        ``probe_args`` is one tuple per worker (or None).
+        """
+        self._check_open()
+        if probe_args is None:
+            probe_args = [()] * self.num_workers
+        self._send_each(
+            [("arm", combiner, probe, args) for args in probe_args]
+        )
+
+    def gather(self, fn, *args, **kwargs) -> list:
+        """Run ``fn(task, *args)`` on every worker; results in machine order."""
+        self._check_open()
+        return self._broadcast(("call", fn, args, kwargs))
+
+    def run(self, max_supersteps: int | None = None, on_step=None) -> EngineResult:
+        """Drive seeded worker tasks to quiescence (the parallel engine loop).
+
+        Semantics mirror :meth:`SuperstepEngine.run` exactly — same step
+        cap, same vote handling, same virtual clock — with one extension:
+        ``on_step(step_index, per_machine_stats, virtual_now, probe_results)``
+        may return a ``(fn, args)`` control to broadcast to every worker
+        before the next superstep (reachability's early termination).
+        """
+        self._check_open()
+        instr = self.instr
+        tracing = instr.enabled
+        vbase = instr.tracer.virtual_now if tracing else 0.0
+        clock = VirtualClock()
+        history: list[list[StepStats]] = []
+        step = 0
+        active = True
+        conns = self._conns
+        while active and (max_supersteps is None or step < max_supersteps):
+            wall0 = time.perf_counter() if tracing else 0.0
+            for conn in conns:
+                conn.send(("compute",))
+            outs = [self._recv(conn) for conn in conns]
+            routed: list[list] = [[] for _ in conns]
+            for sender, (refs, _wall) in enumerate(outs):
+                for ref in refs:
+                    routed[ref.dest].append((sender, ref))
+            for conn, inbox in zip(conns, routed):
+                conn.send(("apply", inbox))
+            votes, stats, probes, walls = [], [], [], []
+            for i, conn in enumerate(conns):
+                vote, machine_stats, probed, apply_wall = self._recv(conn)
+                votes.append(vote)
+                stats.append(machine_stats)
+                probes.append(probed)
+                walls.append(outs[i][1] + apply_wall)
+            active = any(votes)
+            clock.advance(self.netmodel.superstep_seconds(stats))
+            if tracing:
+                emit_superstep(
+                    instr, self.netmodel, step, stats, clock, vbase,
+                    wall0, time.perf_counter(), wall_compute=walls,
+                )
+            history.append(stats)
+            step += 1
+            if on_step is not None:
+                control = on_step(step - 1, stats, clock.now, probes)
+                if control is not None:
+                    fn, args = control
+                    self._broadcast(("call", fn, args, None))
+        if tracing:
+            instr.tracer.virtual_now = vbase + clock.now
+        return EngineResult(
+            supersteps=step,
+            virtual_seconds=clock.now,
+            per_step_seconds=list(clock.per_step),
+            per_step_stats=history,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "live"
+        return f"WorkerPool(workers={self.num_workers}, {state})"

@@ -23,6 +23,15 @@ superstep engine.  One-shot calls construct a transient session through
 Sessions are not thread-safe: one batch executes at a time (the admission
 loop in :class:`~repro.runtime.scheduler.QueryService` serialises batches
 onto the session and accounts response times on the virtual clock).
+
+A session also selects its **execution backend**: ``backend="inproc"``
+(default) runs every machine serially in this process; ``backend="pool"``
+runs supersteps on a persistent shared-memory worker pool
+(:mod:`repro.runtime.pool`) — one OS process per machine — for algorithms
+with pool adapters (k-hop, wide batches, reachability, GAS/PageRank).
+Answers and virtual times are bit-identical either way; only wall-clock
+changes.  Pool sessions should be closed (:meth:`GraphSession.close` or
+``with GraphSession(...) as sess:``) to stop the workers.
 """
 
 from __future__ import annotations
@@ -62,6 +71,17 @@ class GraphSession:
         the cluster/engine, the query service and the index planner; the
         no-op :data:`~repro.telemetry.NULL_INSTRUMENTATION` by default, so
         telemetry is opt-in and near-free when off.
+    backend:
+        ``"inproc"`` (default) executes every machine serially inside this
+        process on the :class:`SimCluster`; ``"pool"`` executes supersteps
+        on a persistent :class:`~repro.runtime.pool.WorkerPool` — one OS
+        process per machine, shards and message payloads in shared memory
+        — started lazily on the first batch and stopped by :meth:`close`.
+        Results are bit-identical between backends.  Algorithms without a
+        pool adapter (SSSP, k-core, async/edge-set modes) keep the
+        in-process path on a pool session.
+    pool_seed:
+        Base seed for the pool workers' per-process RNGs (determinism).
     """
 
     def __init__(
@@ -73,9 +93,13 @@ class GraphSession:
         sets_per_partition: int = 8,
         consolidate_min_edges: int | None = None,
         instrumentation=None,
+        backend: str = "inproc",
+        pool_seed: int = 0,
     ):
         from repro.telemetry.instrument import NULL_INSTRUMENTATION
 
+        if backend not in ("inproc", "pool"):
+            raise ValueError(f"backend must be 'inproc' or 'pool', got {backend!r}")
         self.instr = instrumentation or NULL_INSTRUMENTATION
         if isinstance(graph, PartitionedGraph):
             self.pg = graph
@@ -85,6 +109,9 @@ class GraphSession:
             self.build_edge_sets(sets_per_partition, consolidate_min_edges)
         self.netmodel = netmodel or NetworkModel()
         self.cluster = SimCluster(self.pg, self.netmodel, self.instr)
+        self.backend = backend
+        self.pool_seed = pool_seed
+        self._pool = None  # WorkerPool, started lazily by pool()
         self.batches_run = 0
         self._task_cache: dict[tuple, list[PartitionTask]] = {}
         self._undirected_pg: PartitionedGraph | None = None
@@ -113,6 +140,47 @@ class GraphSession:
         if isinstance(graph, GraphSession):
             return graph
         return cls(graph, num_machines=num_machines, netmodel=netmodel)
+
+    # -- the parallel backend ----------------------------------------------- #
+
+    @property
+    def uses_pool(self) -> bool:
+        """True when batches with a pool adapter run on worker processes."""
+        return self.backend == "pool"
+
+    def pool(self):
+        """The session's :class:`~repro.runtime.pool.WorkerPool`, started
+        lazily on first use (one spawn per machine, graph image shared)."""
+        if not self.uses_pool:
+            raise RuntimeError("session backend is 'inproc'; no pool to start")
+        if self._pool is None:
+            from repro.runtime.pool import WorkerPool
+
+            with self.instr.span("pool start", cat="pool"):
+                self._pool = WorkerPool(
+                    self.pg,
+                    netmodel=self.netmodel,
+                    instrumentation=self.instr,
+                    seed=self.pool_seed,
+                )
+        return self._pool
+
+    def close(self) -> None:
+        """Stop the worker pool (processes + shared memory), if started.
+
+        Idempotent; the session remains usable — the next pool batch starts
+        a fresh pool.  In-process state (graph, cluster, caches) is
+        untouched.
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- structure --------------------------------------------------------- #
 
@@ -203,6 +271,8 @@ class GraphSession:
         """
         with self.instr.span("session prepare", cat="session"):
             self.cluster.reset_buffers()
+            if self._pool is not None:
+                self._pool.prepare()
 
     def _as_vertex_ids(self, ids, name: str) -> np.ndarray:
         """Coerce to int64 vertex ids; reject lossy or out-of-range input."""
@@ -265,12 +335,22 @@ class GraphSession:
             self._task_cache[cache_key] = tasks
         return tasks
 
-    def seed_sources(self, tasks: list[PartitionTask], sources: np.ndarray) -> None:
-        """Place query ``q``'s source on its owning machine's task."""
+    def seeds_by_machine(self, sources: np.ndarray) -> list[list[tuple[int, int]]]:
+        """Group a batch's sources as ``(local_vertex, query)`` per machine."""
+        per_machine: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.num_machines)
+        ]
         owners = self.cluster.owner_of(sources)
         bounds = self.pg.bounds[owners]
         for q, (s, o, lo) in enumerate(zip(sources, owners, bounds)):
-            tasks[int(o)].seed(int(s) - int(lo), q)
+            per_machine[int(o)].append((int(s) - int(lo), q))
+        return per_machine
+
+    def seed_sources(self, tasks: list[PartitionTask], sources: np.ndarray) -> None:
+        """Place query ``q``'s source on its owning machine's task."""
+        for task, seeds in zip(tasks, self.seeds_by_machine(sources)):
+            for local_vertex, q in seeds:
+                task.seed(local_vertex, q)
 
     def run_batch(
         self,
@@ -294,6 +374,44 @@ class GraphSession:
             query_batch=self.batches_run,
         ):
             result = engine.run(max_supersteps=max_supersteps, on_step=on_step)
+        self.batches_run += 1
+        return result
+
+    def run_batch_pool(
+        self,
+        cache_key: tuple,
+        build,
+        build_kwargs: dict,
+        reset,
+        reset_kwargs: dict,
+        payload_width: int,
+        seeds=None,
+        combiner=combine_or,
+        max_supersteps: int | None = None,
+        on_step=None,
+        probe=None,
+        probe_args=None,
+    ) -> EngineResult:
+        """Drive one batch on the worker pool (the parallel twin of
+        :meth:`tasks_for` + :meth:`seed_sources` + :meth:`run_batch`).
+
+        ``build``/``reset`` and the optional ``probe`` must be picklable
+        module-level functions (see :mod:`repro.core.adapters`); resident
+        worker-side task state under ``cache_key`` is re-armed across
+        batches exactly like the in-process task cache.
+        """
+        pool = self.pool()
+        pool.ensure_task(
+            cache_key, build, build_kwargs, reset, reset_kwargs, payload_width
+        )
+        if seeds is not None:
+            pool.seed(seeds)
+        pool.arm(combiner=combiner, probe=probe, probe_args=probe_args)
+        with self.instr.span(
+            f"run batch {self.batches_run}", cat="batch",
+            query_batch=self.batches_run,
+        ):
+            result = pool.run(max_supersteps=max_supersteps, on_step=on_step)
         self.batches_run += 1
         return result
 

@@ -111,6 +111,7 @@ class Instrumentation:
         virt_end: float,
         wall_start: float,
         wall_end: float,
+        wall_compute=None,
     ) -> None:
         """Record one superstep: its span, per-partition compute spans,
         comm-flush spans, and the work counters.
@@ -118,6 +119,9 @@ class Instrumentation:
         Virtual placement follows the cost model: synchronous supersteps
         compute first then flush at the barrier (comm spans start after the
         slowest compute); asynchronous supersteps overlap both at the start.
+        ``wall_compute`` (pool backend) is the measured per-machine wall
+        seconds, recorded as ``wall_ms`` on each compute span so traces show
+        real parallel time alongside the modelled virtual time.
         """
         tr = self.tracer
         computes = [
@@ -141,7 +145,10 @@ class Instrumentation:
         )
         for i, s in enumerate(per_machine):
             label = str(i)
-            if computes[i] > 0.0:
+            if computes[i] > 0.0 or (wall_compute and wall_compute[i] > 0.0):
+                extra = {}
+                if wall_compute is not None:
+                    extra["wall_ms"] = round(wall_compute[i] * 1e3, 3)
                 tr.record(
                     f"compute p{i}",
                     cat="compute",
@@ -151,6 +158,7 @@ class Instrumentation:
                     virt_end=virt_start + computes[i],
                     edges_scanned=s.edges_scanned,
                     vertices_updated=s.vertices_updated,
+                    **extra,
                 )
             if comms[i] > 0.0:
                 tr.record(

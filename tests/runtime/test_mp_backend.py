@@ -1,60 +1,42 @@
-"""Tests for the real multi-process execution backend."""
+"""The deprecated mp_backend shim: one parity check over the pool backend.
+
+The real multi-process substrate lives in :mod:`repro.runtime.pool` (see
+``tests/runtime/test_pool_parity.py`` for the full bit-identical suite);
+``mp_concurrent_khop`` survives only as a deprecated alias, so one test
+pins its contract: warns, delegates to the pool, matches the in-process
+engine exactly.
+"""
 
 import pytest
 
 from repro.core.khop import concurrent_khop
-from repro.graph import path_graph, range_partition
+from repro.graph import range_partition
 from repro.runtime.mp_backend import mp_concurrent_khop
 
 
-class TestMPBackend:
-    def test_matches_in_process_engine(self, small_rmat):
+class TestDeprecatedShim:
+    def test_warns_and_matches_in_process_engine(self, small_rmat):
         sources = [0, 9, 33, 77]
-        mp_res = mp_concurrent_khop(small_rmat, sources, k=3, num_machines=3)
+        with pytest.deprecated_call():
+            mp_res = mp_concurrent_khop(small_rmat, sources, k=3, num_machines=3)
         ref = concurrent_khop(small_rmat, sources, k=3)
         assert (mp_res.reached == ref.reached).all()
         assert mp_res.supersteps == ref.supersteps
-
-    def test_full_bfs(self, small_rmat):
-        mp_res = mp_concurrent_khop(small_rmat, [0], k=None, num_machines=2)
-        ref = concurrent_khop(small_rmat, [0], k=None)
-        assert mp_res.reached[0] == ref.reached[0]
-
-    def test_path_graph_levels(self):
-        el = path_graph(12, directed=True)
-        res = mp_concurrent_khop(el, [0], k=5, num_machines=3)
-        assert res.reached[0] == 6
+        assert mp_res.num_machines == 3
 
     def test_prepartitioned_graph(self, small_rmat):
         pg = range_partition(small_rmat, 4)
-        res = mp_concurrent_khop(pg, [0], k=2)
+        with pytest.deprecated_call():
+            res = mp_concurrent_khop(pg, [0], k=2)
         ref = concurrent_khop(pg, [0], k=2)
         assert res.reached[0] == ref.reached[0]
         assert res.num_machines == 4
-
-    def test_source_validation(self, small_rmat):
-        with pytest.raises(ValueError):
-            mp_concurrent_khop(small_rmat, [99999], k=2)
-        with pytest.raises(ValueError):
-            mp_concurrent_khop(small_rmat, list(range(65)), k=2)
-
-    def test_multiple_seeds_same_machine(self, small_rmat):
-        # sources clustered in one partition still route correctly
-        res = mp_concurrent_khop(small_rmat, [0, 1, 2], k=2, num_machines=3)
-        ref = concurrent_khop(small_rmat, [0, 1, 2], k=2)
-        assert (res.reached == ref.reached).all()
-
-    def test_k_zero_single_superstep(self, small_rmat):
-        res = mp_concurrent_khop(small_rmat, [5], k=0, num_machines=2)
-        # one empty superstep runs (expand is a no-op at budget 0)
-        assert res.reached[0] == 1
 
 
 class TestStepTable:
     def test_rows_align_with_supersteps(self, small_rmat):
         from repro.runtime.netmodel import NetworkModel
 
-        ref = concurrent_khop(small_rmat, [0], k=3, num_machines=3)
         # re-run through the engine to get an EngineResult with step stats
         from repro.core.khop import KHopPartitionTask
         from repro.runtime.cluster import SimCluster
