@@ -52,6 +52,7 @@ EXPERIMENTS = {
     "index-vs-traversal": "index_vs_traversal",
     "telemetry-overhead": "telemetry_overhead",
     "parallel-scaling": "parallel_scaling",
+    "recovery-overhead": "recovery_overhead",
 }
 
 
@@ -144,6 +145,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None,
                    help="write Prometheus text-format metrics to this path "
                         "(enables instrumentation)")
+    p.add_argument("--backend", choices=["inproc", "pool"], default="inproc",
+                   help="execution backend for the resident session")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-dispatch virtual-clock deadline; queries still "
+                        "open at the deadline are reported deadline_missed")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="pool backend: batch retries before degrading to the "
+                        "in-process engine")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="admission bound: shed submissions past this many "
+                        "pending queries")
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection drill: crash/delay/corrupt pool workers under "
+             "a seeded plan and assert bit-identical recovery",
+    )
+    add_common(p)
+    p.add_argument("--queries", type=int, default=16)
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--events", type=int, default=2,
+                   help="number of seeded fault events to inject")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated fault kinds to draw from "
+                        "(crash, delay, drop_outbox, corrupt_inbox); "
+                        "default all")
+    p.add_argument("--max-recoveries", type=int, default=8,
+                   help="recovery budget before the batch is abandoned")
+    p.add_argument("--step-timeout", type=float, default=30.0,
+                   help="per-superstep hang detection timeout (seconds)")
 
     p = sub.add_parser(
         "telemetry",
@@ -189,14 +220,15 @@ def _load(args):
     return load_dataset(args.dataset, args.scale)
 
 
-def _session(args, el=None, edge_sets: bool = False, instrumentation=None):
+def _session(args, el=None, edge_sets: bool = False, instrumentation=None,
+             **kwargs):
     """Build the one resident session this subcommand runs on."""
     from repro.runtime.session import GraphSession
 
     if el is None:
         el = _load(args)
     return GraphSession(el, num_machines=args.machines, edge_sets=edge_sets,
-                        instrumentation=instrumentation)
+                        instrumentation=instrumentation, **kwargs)
 
 
 def cmd_datasets(args, out) -> int:
@@ -360,12 +392,26 @@ def cmd_service(args, out) -> int:
         from repro.telemetry import Instrumentation
 
         instr = Instrumentation()
+    if args.max_retries < 0:
+        raise SystemExit("repro service: --max-retries must be >= 0")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise SystemExit("repro service: --deadline-ms must be > 0")
+    from repro.runtime.fault import RetryPolicy
+
     el = _load(args)
-    sess = _session(args, el, edge_sets=args.edge_sets, instrumentation=instr)
+    sess = _session(
+        args, el, edge_sets=args.edge_sets, instrumentation=instr,
+        backend=args.backend,
+        retry_policy=RetryPolicy(max_attempts=args.max_retries + 1),
+    )
     svc = QueryService(
         sess, args.k, discipline=args.discipline,
         batch_width=args.batch_width, use_edge_sets=args.edge_sets,
         planner=args.planner, cross_check=args.cross_check,
+        deadline_seconds=(
+            None if args.deadline_ms is None else args.deadline_ms / 1e3
+        ),
+        max_pending=args.max_pending,
     )
     roots = random_sources(el, args.queries, seed=args.seed)
     rng = np.random.default_rng(args.seed)
@@ -392,6 +438,17 @@ def cmd_service(args, out) -> int:
     print(f"  clock at drain end: {svc.clock * 1e3:.3f} ms "
           f"(session batches run: {sess.batches_run}, "
           f"makespan {rep.makespan * 1e3:.3f} ms)", file=out)
+    if args.deadline_ms is not None:
+        n_missed = (
+            0 if rep.deadline_missed is None
+            else int(np.count_nonzero(rep.deadline_missed))
+        )
+        print(f"  deadline {args.deadline_ms:g} ms: {n_missed} missed "
+              f"(best-effort answers), {rep.shed} shed", file=out)
+    if args.backend == "pool":
+        print(f"  pool: failures {sess.pool_failures}, "
+              f"degraded {'yes' if rep.degraded else 'no'}", file=out)
+        sess.close()
     if instr is not None:
         from repro.telemetry import write_chrome_trace, write_prometheus
 
@@ -404,6 +461,91 @@ def cmd_service(args, out) -> int:
             path = write_prometheus(instr.metrics, args.metrics_out)
             print(f"  metrics written to {path}", file=out)
     return 0
+
+
+def cmd_chaos(args, out) -> int:
+    """Run one seeded fault-injection drill and verify full recovery.
+
+    The same k-hop batch runs twice: fault-free on the in-process engine
+    (the reference) and on the worker pool with a seeded random
+    :class:`~repro.runtime.fault.FaultPlan` armed.  The drill passes when
+    the pool's answers *and* virtual clock are bit-identical to the
+    reference and no shared-memory segments leak; exit code 1 otherwise.
+    """
+    import glob
+
+    from repro.bench.workload import random_sources
+    from repro.core.khop import concurrent_khop
+    from repro.runtime.fault import (
+        FAULT_KINDS,
+        FaultPlan,
+        FaultTolerance,
+        RetryPolicy,
+    )
+    from repro.runtime.session import GraphSession
+
+    kinds = tuple(FAULT_KINDS)
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        bad = set(kinds) - set(FAULT_KINDS)
+        if bad:
+            raise SystemExit(f"repro chaos: unknown fault kind(s) {sorted(bad)}")
+    el = _load(args)
+    roots = random_sources(el, args.queries, seed=args.seed)
+
+    ref_sess = GraphSession(el, num_machines=args.machines)
+    ref = concurrent_khop(ref_sess.pg, roots, args.k, session=ref_sess)
+
+    plan = FaultPlan.random(
+        args.seed, num_workers=args.machines, max_step=max(args.k - 1, 0),
+        num_events=args.events, kinds=kinds,
+    )
+    print(f"chaos drill on {args.dataset} ({args.machines} machines, "
+          f"{args.queries} {args.k}-hop queries, seed {args.seed}):", file=out)
+    for ev in plan.events:
+        extra = f" ({ev.seconds:g}s)" if ev.kind == "delay_worker" else ""
+        print(f"  inject {ev.kind}{extra} on worker {ev.machine} "
+              f"at superstep {ev.step}", file=out)
+
+    shm_before = set(glob.glob("/dev/shm/cgp*"))
+    sess = GraphSession(
+        el, num_machines=args.machines, backend="pool",
+        fault_plan=plan,
+        fault_tolerance=FaultTolerance(
+            checkpoint_interval=1,
+            step_timeout=args.step_timeout,
+            max_recoveries=args.max_recoveries,
+        ),
+        retry_policy=RetryPolicy(max_attempts=2),
+    )
+    try:
+        res = concurrent_khop(sess.pg, roots, args.k, session=sess)
+        recoveries = 0 if sess._pool is None else sess._pool.recoveries
+        degraded = sess.degraded
+    finally:
+        sess.close()
+    leaked = sorted(set(glob.glob("/dev/shm/cgp*")) - shm_before)
+
+    ok = True
+    if not np.array_equal(res.reached, ref.reached):
+        bad = int(np.nonzero(res.reached != ref.reached)[0][0])
+        print(f"  MISMATCH: query {bad} reached {int(res.reached[bad])} "
+              f"(reference {int(ref.reached[bad])})", file=out)
+        ok = False
+    if res.virtual_seconds != ref.virtual_seconds:
+        print(f"  MISMATCH: virtual clock {res.virtual_seconds!r} "
+              f"(reference {ref.virtual_seconds!r})", file=out)
+        ok = False
+    if leaked:
+        print(f"  LEAK: shared-memory segments left behind: {leaked}", file=out)
+        ok = False
+    if ok:
+        print(f"  recovered: answers and virtual clock bit-identical to the "
+              f"fault-free reference "
+              f"({recoveries} worker respawn(s), "
+              f"{'degraded to inproc' if degraded else 'pool survived'}, "
+              f"no leaked segments)", file=out)
+    return 0 if ok else 1
 
 
 def cmd_telemetry(args, out) -> int:
@@ -509,6 +651,7 @@ def main(argv=None, out=None) -> int:
         "path": cmd_path,
         "centrality": cmd_centrality,
         "service": cmd_service,
+        "chaos": cmd_chaos,
         "telemetry": cmd_telemetry,
         "index": cmd_index,
         "experiment": cmd_experiment,

@@ -45,10 +45,30 @@ __all__ = [
     "reset_gas",
     "gas_values",
     "combine_with",
+    "task_checkpoint",
+    "task_restore",
 ]
 
 #: Bytes per combined-batch payload entry, used to size outbox segments.
 WORD_PAYLOAD_WIDTH = 8
+
+
+# -- fault tolerance -------------------------------------------------------- #
+
+
+def task_checkpoint(task):
+    """Gather/call adapter: snapshot any resident task's per-run state.
+
+    The pool's supervisor checkpoints through a dedicated protocol op, but
+    tests and tools can also pull a consistent snapshot out of live workers
+    with ``pool.gather(adapters.task_checkpoint)`` at a barrier.
+    """
+    return task.checkpoint()
+
+
+def task_restore(task, state) -> None:
+    """Call adapter: restore a task from :func:`task_checkpoint` output."""
+    task.restore(state)
 
 
 # -- k-hop (word-wide) ------------------------------------------------------ #

@@ -78,6 +78,26 @@ class BitFrontier:
         self.next.fill(0)
         self.visited.fill(0)
 
+    def snapshot(self) -> tuple:
+        """Deep copies of the three planes (checkpoint/replay support).
+
+        ``next`` is all-zero at every superstep barrier (:meth:`promote`
+        just swapped-and-cleared it), so a zero plane is elided — pool
+        checkpoints ship two planes per worker, not three.
+        """
+        nxt = self.next.copy() if self.next.any() else None
+        return self.frontier.copy(), nxt, self.visited.copy()
+
+    def load(self, snap: tuple) -> None:
+        """Restore planes from :meth:`snapshot`, in place."""
+        frontier, nxt, visited = snap
+        self.frontier[...] = frontier
+        if nxt is None:
+            self.next.fill(0)
+        else:
+            self.next[...] = nxt
+        self.visited[...] = visited
+
     def seed(self, local_vertex: int, query_index: int) -> None:
         """Place ``query_index``'s source at ``local_vertex`` (level 0)."""
         if not 0 <= query_index < self.num_queries:

@@ -157,6 +157,26 @@ class GASPartitionTask(PartitionTask):
                 self.program.combiner.at(self.gathered, local, batch.payload)
                 stats.vertices_updated += batch.num_tasks
 
+    def checkpoint(self) -> dict:
+        """Per-run value state only — the precomputed edge expansion is
+        structural and identical on any rebuilt/restored task.  At a
+        superstep barrier ``gathered`` is identity-filled (finalize just
+        reset it), so that common case ships as ``None``."""
+        idle = bool((self.gathered == self.program.identity).all())
+        return {
+            "values": self.values.copy(),
+            "gathered": None if idle else self.gathered.copy(),
+            "converged": self.converged,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.values = state["values"].copy()
+        if state["gathered"] is None:
+            self.gathered.fill(self.program.identity)
+        else:
+            self.gathered = state["gathered"].copy()
+        self.converged = state["converged"]
+
     def finalize(self) -> bool:
         new = self.program.apply(self.values, self.gathered, self.machine.partition)
         self.converged = self.program.has_converged(self.values, new)
@@ -209,7 +229,9 @@ def run_gas(
             max_supersteps=iterations,
         )
         values = np.empty(pg.num_vertices, dtype=np.float64)
-        for part, vals in zip(pg.partitions, sess.pool().gather(adapters.gas_values)):
+        for part, vals in zip(
+            pg.partitions, sess.gather_batch(adapters.gas_values)
+        ):
             values[part.lo : part.hi] = vals
     else:
         tasks = sess.tasks_for(

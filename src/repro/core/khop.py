@@ -53,6 +53,11 @@ class KHopResult:
     total_messages: int
     total_bytes: int
     depths: np.ndarray | None = field(default=None, repr=False)
+    #: Per-query completion flags: all True unless the run was truncated by
+    #: a ``max_virtual_seconds`` deadline, in which case unresolved queries
+    #: carry partial ``reached`` counts (graceful degradation).
+    resolved: np.ndarray | None = field(default=None, repr=False)
+    truncated: bool = False
 
     @property
     def num_queries(self) -> int:
@@ -115,6 +120,21 @@ class KHopPartitionTask(PartitionTask):
             self.depths = np.full(
                 (self.machine.num_local, num_queries), -1, dtype=np.int16
             )
+
+    def checkpoint(self) -> dict:
+        """Snapshot per-run state at a barrier (batch shape is fixed, so
+        only the planes, the level counter and any depth matrix move)."""
+        return {
+            "level": self.level,
+            "planes": self.state.snapshot(),
+            "depths": None if self.depths is None else self.depths.copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.level = state["level"]
+        self.state.load(state["planes"])
+        if state["depths"] is not None:
+            self.depths[...] = state["depths"]
 
     # -- PartitionTask interface ---------------------------------------- #
 
@@ -222,6 +242,7 @@ def concurrent_khop(
     max_supersteps: int | None = None,
     parallel_compute: bool = False,
     session: GraphSession | None = None,
+    max_virtual_seconds: float | None = None,
 ) -> KHopResult:
     """Run up to 64 k-hop queries concurrently with bit-parallel sharing.
 
@@ -250,6 +271,12 @@ def concurrent_khop(
         A ``backend="pool"`` session runs the batch on its worker pool
         (bit-identical answers, real multicore wall-clock); ``use_edge_sets``
         and ``asynchronous`` require the in-process backend.
+    max_virtual_seconds:
+        Deadline on the batch's *virtual* clock: the run stops at the first
+        superstep barrier past it, marking the result ``truncated`` and
+        flagging unfinished queries False in ``resolved`` (their ``reached``
+        counts are the partial answer so far).  Identical truncation point
+        on both backends.
 
     Returns a :class:`KHopResult`; virtual time comes from the cluster's
     network model and counted work.
@@ -310,13 +337,13 @@ def concurrent_khop(
             max_supersteps=cap,
             on_step=on_pool_step,
             probe=adapters.khop_alive,
+            max_virtual_seconds=max_virtual_seconds,
         )
-        pool = sess.pool()
         reached = np.zeros(num_queries, dtype=np.int64)
-        for counts in pool.gather(adapters.khop_visited_counts):
+        for counts in sess.gather_batch(adapters.khop_visited_counts):
             reached += counts
         per_part_depths = (
-            pool.gather(adapters.khop_depths) if record_depths else None
+            sess.gather_batch(adapters.khop_depths) if record_depths else None
         )
     else:
         tasks = sess.tasks_for(
@@ -342,6 +369,7 @@ def concurrent_khop(
             parallel_compute=parallel_compute,
             max_supersteps=cap,
             on_step=on_step,
+            max_virtual_seconds=max_virtual_seconds,
         )
 
         reached = np.zeros(num_queries, dtype=np.int64)
@@ -362,6 +390,13 @@ def concurrent_khop(
         for q, s in enumerate(sources):
             depths[int(s), q] = 0
 
+    if result.truncated:
+        resolved = np.array(
+            [bool(done_mask >> q & 1) for q in range(num_queries)]
+        )
+    else:
+        resolved = np.ones(num_queries, dtype=bool)
+
     total = result.total_stats()
     return KHopResult(
         sources=sources,
@@ -376,4 +411,6 @@ def concurrent_khop(
         total_messages=total.total_messages,
         total_bytes=total.total_bytes,
         depths=depths,
+        resolved=resolved,
+        truncated=result.truncated,
     )

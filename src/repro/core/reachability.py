@@ -48,6 +48,11 @@ class ReachabilityResult:
     virtual_seconds: float
     supersteps: int
     total_edges_scanned: int
+    #: Per-query settled flags: all True unless a ``max_virtual_seconds``
+    #: deadline truncated the run, in which case unresolved queries keep
+    #: their best-effort verdict (``reachable=False`` so far).
+    resolved: np.ndarray | None = None
+    truncated: bool = False
 
     @property
     def num_queries(self) -> int:
@@ -63,12 +68,17 @@ def reachability_queries(
     netmodel: NetworkModel | None = None,
     use_edge_sets: bool = False,
     session: GraphSession | None = None,
+    max_virtual_seconds: float | None = None,
 ) -> ReachabilityResult:
     """Answer up to 64 ``source -> target`` within-``k``-hops queries at once.
 
     Queries share the traversal exactly as in :func:`concurrent_khop`;
     additionally, a query's bit is masked out of every frontier as soon as
     its verdict is known, shrinking the shared batch as answers arrive.
+    ``max_virtual_seconds`` deadlines the batch's virtual clock: the run
+    stops at the first barrier past it, flagging still-open queries False
+    in ``resolved`` (graceful degradation — both backends truncate at the
+    identical superstep).
     """
     sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     pg = sess.pg
@@ -150,6 +160,7 @@ def reachability_queries(
             on_step=on_pool_step,
             probe=adapters.reach_probe,
             probe_args=[(arg,) for arg in probe_args],
+            max_virtual_seconds=max_virtual_seconds,
         )
     else:
         tasks = sess.tasks_for(
@@ -181,8 +192,16 @@ def reachability_queries(
                     t.state.frontier &= keep
 
         result = sess.run_batch(
-            tasks, combiner=combine_or, max_supersteps=k, on_step=on_step
+            tasks, combiner=combine_or, max_supersteps=k, on_step=on_step,
+            max_virtual_seconds=max_virtual_seconds,
         )
+
+    if result.truncated:
+        resolved = np.array(
+            [bool(resolved_mask >> q & 1) for q in range(num_queries)]
+        )
+    else:
+        resolved = np.ones(num_queries, dtype=bool)
 
     total = result.total_stats()
     return ReachabilityResult(
@@ -195,4 +214,6 @@ def reachability_queries(
         virtual_seconds=result.virtual_seconds,
         supersteps=result.supersteps,
         total_edges_scanned=total.edges_scanned,
+        resolved=resolved,
+        truncated=result.truncated,
     )

@@ -89,6 +89,25 @@ class WideBitFrontier:
         self.next.fill(0)
         return newly
 
+    def snapshot(self) -> tuple:
+        """Deep copies of the three planes (checkpoint/replay support).
+
+        As in :meth:`BitFrontier.snapshot`, the always-zero-at-barrier
+        ``next`` plane is elided from the snapshot.
+        """
+        nxt = self.next.copy() if self.next.any() else None
+        return self.frontier.copy(), nxt, self.visited.copy()
+
+    def load(self, snap: tuple) -> None:
+        """Restore planes from :meth:`snapshot`, in place."""
+        frontier, nxt, visited = snap
+        self.frontier[...] = frontier
+        if nxt is None:
+            self.next.fill(0)
+        else:
+            self.next[...] = nxt
+        self.visited[...] = visited
+
     def visited_counts(self) -> np.ndarray:
         """Visited vertices per query in this partition."""
         counts = np.empty(self.num_queries, dtype=np.int64)
@@ -126,6 +145,13 @@ class _WideKHopTask(PartitionTask):
             self.state.visited.fill(0)
         else:
             self.state = WideBitFrontier(self.machine.num_local, num_queries)
+
+    def checkpoint(self) -> dict:
+        return {"level": self.level, "planes": self.state.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self.level = state["level"]
+        self.state.load(state["planes"])
 
     def compute(self, stats: StepStats) -> None:
         if self.k is not None and self.level >= self.k:
@@ -222,7 +248,7 @@ def concurrent_khop_wide(
             max_supersteps=k,
         )
         reached = np.zeros(num_queries, dtype=np.int64)
-        for counts in sess.pool().gather(adapters.wide_visited_counts):
+        for counts in sess.gather_batch(adapters.wide_visited_counts):
             reached += counts
     else:
         tasks = sess.tasks_for(

@@ -1,0 +1,77 @@
+"""The typed exception hierarchy of the framework.
+
+Every error the runtime raises deliberately derives from :class:`ReproError`,
+so callers can catch "anything this framework decided to fail on" with one
+clause while still discriminating the interesting cases (a worker crash is
+retryable, a malformed query never is).  Each concrete class *also* inherits
+the builtin its call site historically raised (``RuntimeError``,
+``ValueError``, ``TimeoutError``), so pre-existing ``except RuntimeError:`` /
+``except ValueError:`` clauses — and tests pinning them — keep working
+unchanged.
+
+The fault-tolerance layer (:mod:`repro.runtime.fault`,
+:mod:`repro.runtime.supervisor`) leans on the split below :class:`PoolError`:
+
+* :class:`WorkerLost` — an *infrastructure* failure (crashed or hung worker
+  process, recovery budget exhausted).  Non-deterministic, hence retryable:
+  :class:`~repro.runtime.session.GraphSession` re-runs the batch on a fresh
+  pool under its :class:`~repro.runtime.fault.RetryPolicy` and ultimately
+  degrades to the in-process engine.
+* :class:`WorkerTaskError` — the *task itself* raised inside a worker.
+  Deterministic, hence never retried: a fresh pool would fail identically,
+  so the traceback propagates to the caller immediately.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PoolError",
+    "WorkerLost",
+    "WorkerTaskError",
+    "CheckpointError",
+    "CorruptMessage",
+    "DeadlineExceeded",
+    "Overloaded",
+    "InvalidQueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate failure raised by this framework."""
+
+
+class PoolError(ReproError, RuntimeError):
+    """The worker-pool backend failed (base of both failure flavours)."""
+
+
+class WorkerLost(PoolError):
+    """A worker process crashed, hung past its step timeout, or the
+    recovery budget ran out — an infrastructure failure, safe to retry."""
+
+
+class WorkerTaskError(PoolError):
+    """A task raised inside a worker; the embedded traceback is the
+    worker's.  Deterministic — retrying would fail identically."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A superstep checkpoint could not be taken or restored."""
+
+
+class CorruptMessage(ReproError, RuntimeError):
+    """A message batch failed its checksum — payload bytes changed between
+    the sender's write and the receiver's read."""
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A batch (or its retry budget) blew through its deadline."""
+
+
+class Overloaded(ReproError, RuntimeError):
+    """The service shed this query: the admission queue is at its bound."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A submitted query or batch failed validation (bad vertex ids,
+    misaligned arrays, out-of-range parameters)."""

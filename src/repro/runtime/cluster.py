@@ -59,6 +59,13 @@ class SimCluster:
     instrumentation:
         Telemetry facade shared by everything running on this cluster (the
         engine reads it per superstep); the no-op null by default.
+    fault_plan:
+        A :class:`~repro.runtime.fault.FaultPlan` of simulated machine
+        faults; the engine routes through its resilient checkpoint/replay
+        path whenever one is armed.  None (default) = fault-free.
+    fault_tolerance:
+        :class:`~repro.runtime.fault.FaultTolerance` knobs for the resilient
+        path (checkpoint interval, recovery budget); defaults if omitted.
     """
 
     def __init__(
@@ -66,6 +73,8 @@ class SimCluster:
         pg: PartitionedGraph,
         netmodel: NetworkModel | None = None,
         instrumentation=None,
+        fault_plan=None,
+        fault_tolerance=None,
     ):
         from repro.telemetry.instrument import NULL_INSTRUMENTATION
 
@@ -73,6 +82,18 @@ class SimCluster:
         self.netmodel = netmodel or NetworkModel()
         self.instr = instrumentation or NULL_INSTRUMENTATION
         self.machines = [Machine(p.part_id, p) for p in pg.partitions]
+        self.fault_tolerance = fault_tolerance
+        self.fault_injector = None
+        self.set_fault_plan(fault_plan)
+
+    def set_fault_plan(self, plan) -> None:
+        """Arm (or with None, disarm) a fault schedule for later runs."""
+        from repro.runtime.fault import FaultInjector
+
+        self.fault_plan = plan
+        self.fault_injector = (
+            FaultInjector(plan.events) if plan is not None else None
+        )
 
     @property
     def num_machines(self) -> int:

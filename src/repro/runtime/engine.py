@@ -85,15 +85,45 @@ class PartitionTask(ABC):
     def finalize(self) -> bool:
         """Rotate per-superstep state; return True while work remains."""
 
+    # -- fault tolerance ------------------------------------------------- #
+    #
+    # Tasks that opt into checkpoint/replay implement these two as exact
+    # inverses at a superstep barrier: ``restore(checkpoint())`` must leave
+    # the task bit-identical, so a recovered run replays into the same
+    # answer as a fault-free one.  State must be picklable (it crosses the
+    # pool's pipes) and must deep-copy anything mutable.
+
+    def checkpoint(self):
+        """Snapshot this task's per-run state at a superstep barrier."""
+        from repro.errors import CheckpointError
+
+        raise CheckpointError(
+            f"{type(self).__name__} does not support checkpoint/replay"
+        )
+
+    def restore(self, state) -> None:
+        """Adopt a state previously returned by :meth:`checkpoint`."""
+        from repro.errors import CheckpointError
+
+        raise CheckpointError(
+            f"{type(self).__name__} does not support checkpoint/replay"
+        )
+
 
 @dataclass
 class EngineResult:
-    """Outcome of one engine run."""
+    """Outcome of one engine run.
+
+    ``truncated`` is True when the run stopped at a virtual-time deadline
+    (``max_virtual_seconds``) while tasks still voted to continue — the
+    engine-level signal behind per-query ``deadline_missed`` accounting.
+    """
 
     supersteps: int
     virtual_seconds: float
     per_step_seconds: list[float]
     per_step_stats: list[list[StepStats]] = field(repr=False)
+    truncated: bool = False
 
     def total_stats(self) -> StepStats:
         """All machines' counts folded together across supersteps."""
@@ -184,13 +214,22 @@ class SuperstepEngine:
         self,
         max_supersteps: int | None = None,
         on_step: Callable[[int, list[StepStats], float], None] | None = None,
+        max_virtual_seconds: float | None = None,
     ) -> EngineResult:
         """Execute supersteps until every task votes to halt (or the cap).
 
         ``on_step(step_index, per_machine_stats, virtual_now)`` is invoked
         after each superstep; algorithms use it to snapshot per-level state
         (e.g. per-query completion times).
+
+        ``max_virtual_seconds`` is a per-batch deadline on the virtual
+        clock: the run stops at the first barrier at or past it and the
+        result is marked ``truncated``.  The check is on modelled time at a
+        barrier, so both backends truncate at the identical superstep.
         """
+        injector = getattr(self.cluster, "fault_injector", None)
+        if injector is not None and injector.events:
+            return self._run_resilient(max_supersteps, on_step, max_virtual_seconds)
         clock = VirtualClock()
         history: list[list[StepStats]] = []
         step = 0
@@ -200,7 +239,9 @@ class SuperstepEngine:
         instr = self.cluster.instr
         tracing = instr.enabled
         vbase = instr.tracer.virtual_now if tracing else 0.0
-        while active and (max_supersteps is None or step < max_supersteps):
+        while active and (max_supersteps is None or step < max_supersteps) and (
+            max_virtual_seconds is None or clock.now < max_virtual_seconds
+        ):
             wall0 = time.perf_counter() if tracing else 0.0
             stats = [StepStats() for _ in self.tasks]
             if self.asynchronous:
@@ -247,4 +288,120 @@ class SuperstepEngine:
             virtual_seconds=clock.now,
             per_step_seconds=list(clock.per_step),
             per_step_stats=history,
+            truncated=bool(
+                active
+                and max_virtual_seconds is not None
+                and clock.now >= max_virtual_seconds
+            ),
+        )
+
+    def _run_resilient(
+        self,
+        max_supersteps: int | None,
+        on_step,
+        max_virtual_seconds: float | None,
+    ) -> EngineResult:
+        """The fault-injected twin of :meth:`run` (simulated cluster).
+
+        Crash events wipe a machine's per-run state; recovery restores
+        *every* task from the last checkpoint and rewinds the clock and
+        history to that barrier, then re-executes.  Replayed supersteps are
+        deterministic, so ``on_step`` sees identical arguments the second
+        time — its callbacks (completion snapshots, early-termination masks)
+        are idempotent by construction.  Delay events cost wall time only;
+        drop/corrupt events are wire faults and have no in-process analogue.
+        """
+        from repro.errors import WorkerLost
+        from repro.runtime.fault import CRASH, DELAY, FaultTolerance
+
+        injector = self.cluster.fault_injector
+        ft = getattr(self.cluster, "fault_tolerance", None) or FaultTolerance()
+        if self.asynchronous or self.parallel_compute:
+            raise ValueError(
+                "fault injection requires the serial synchronous engine"
+            )
+        instr = self.cluster.instr
+        tracing = instr.enabled
+        vbase = instr.tracer.virtual_now if tracing else 0.0
+        tasks = self.tasks
+        clock = VirtualClock()
+        history: list[list[StepStats]] = []
+        step = 0
+        active = True
+        recoveries = 0
+        emitted = 0  # supersteps already sent to telemetry (replay-safe)
+        ckpt_step = 0
+        ckpt_states = [t.checkpoint() for t in tasks]
+        ckpt_per_step: list[float] = []
+        ckpt_history: list[list[StepStats]] = []
+        while active and (max_supersteps is None or step < max_supersteps) and (
+            max_virtual_seconds is None or clock.now < max_virtual_seconds
+        ):
+            crashed = [
+                i
+                for i in range(len(tasks))
+                if injector.take(CRASH, step, machine=i) is not None
+            ]
+            for i in range(len(tasks)):
+                event = injector.take(DELAY, step, machine=i)
+                if event is not None:
+                    time.sleep(event.seconds)
+            if crashed:
+                recoveries += len(crashed)
+                for i in crashed:
+                    instr.on_fault("crash")
+                if recoveries > ft.max_recoveries:
+                    raise WorkerLost(
+                        f"recovery budget exhausted ({recoveries} > "
+                        f"{ft.max_recoveries}) at superstep {step}"
+                    )
+                for task, state in zip(tasks, ckpt_states):
+                    task.restore(state)
+                self.cluster.reset_buffers()
+                clock = VirtualClock()
+                for seconds in ckpt_per_step:
+                    clock.advance(seconds)
+                history = list(ckpt_history)
+                step = ckpt_step
+                active = True
+                instr.on_recovery()
+                continue
+            wall0 = time.perf_counter() if tracing else 0.0
+            stats = [StepStats() for _ in tasks]
+            for i, task in enumerate(tasks):
+                task.compute(stats[i])
+            exchange_sync(self.cluster, stats, combiner=self.combiner)
+            for i, task in enumerate(tasks):
+                task.apply_inbox(stats[i])
+            votes = [task.finalize() for task in tasks]
+            active = any(votes)
+            now = clock.advance(self.netmodel.superstep_seconds(stats))
+            if tracing and step >= emitted:
+                emit_superstep(
+                    instr, self.netmodel, step, stats, clock, vbase,
+                    wall0, time.perf_counter(),
+                )
+                emitted = step + 1
+            history.append(stats)
+            step += 1
+            if on_step is not None:
+                on_step(step - 1, stats, now)
+            if active and step % ft.checkpoint_interval == 0:
+                ckpt_step = step
+                ckpt_states = [t.checkpoint() for t in tasks]
+                ckpt_per_step = list(clock.per_step)
+                ckpt_history = list(history)
+                instr.on_checkpoint()
+        if tracing:
+            instr.tracer.virtual_now = vbase + clock.now
+        return EngineResult(
+            supersteps=step,
+            virtual_seconds=clock.now,
+            per_step_seconds=list(clock.per_step),
+            per_step_stats=history,
+            truncated=bool(
+                active
+                and max_virtual_seconds is not None
+                and clock.now >= max_virtual_seconds
+            ),
         )

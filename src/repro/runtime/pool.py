@@ -15,7 +15,7 @@ and runs the identical superstep protocol:
 2. the coordinator routes the refs by destination and broadcasts ``apply``;
    every worker reads its inbound batches as zero-copy views (sender-
    ascending order — the same reduction order as the in-process inbox),
-   applies, finalizes, and votes;
+   verifies each batch's checksum, applies, finalizes, and votes;
 3. the coordinator advances the same :class:`~repro.runtime.netmodel.
    VirtualClock` from the per-worker :class:`StepStats`, so virtual times
    are bit-identical to the in-process engine.
@@ -24,6 +24,20 @@ Only control records, stats and probe results cross the pipes; payload
 arrays never leave shared memory.  The pool survives across batches
 (``ensure_task`` re-arms resident task state), composing PR 1's
 session-reuse win with real parallelism.
+
+Fault tolerance: the coordinator checkpoints resident task state every
+``FaultTolerance.checkpoint_interval`` supersteps and watches for worker
+failures at every barrier — pipe EOF (crash), a reply missing past
+``step_timeout`` (hang), outbound refs that contradict the worker's own
+send accounting (dropped outbox), or a batch failing its checksum
+(corruption).  Any failure rolls every worker back to the last checkpoint,
+respawns the dead ones onto the *same* shared segments, and replays; the
+replayed run is bit-identical (answers **and** virtual clocks) to a
+fault-free run because the protocol is deterministic.  A run that spends
+more than ``max_recoveries`` recoveries shuts the pool down and raises
+:class:`~repro.errors.WorkerLost`, which the session's
+:class:`~repro.runtime.fault.RetryPolicy` turns into fresh-pool retries
+and, ultimately, transparent degradation to the in-process engine.
 
 Determinism: the start method is always ``spawn`` (no inherited state),
 each worker owns a :func:`numpy.random.default_rng` seeded from the pool
@@ -35,16 +49,29 @@ seed and its worker id, and shutdown is explicit
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing as mp
+import os
 import secrets
 import time
 import traceback
 
 import numpy as np
 
+from repro.errors import CorruptMessage, PoolError, WorkerLost
 from repro.graph.partition import PartitionedGraph, owner_of_bounds
 from repro.runtime.cluster import Machine
 from repro.runtime.engine import EngineResult, emit_superstep
+from repro.runtime.fault import (
+    CORRUPT_INBOX,
+    CRASH,
+    CRASH_EXIT_CODE,
+    DELAY,
+    DROP_OUTBOX,
+    FaultInjector,
+    FaultPlan,
+    FaultTolerance,
+)
 from repro.runtime.message import MessageBatch, TaskBuffer, combine_or
 from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
 from repro.runtime.shm import (
@@ -54,15 +81,27 @@ from repro.runtime.shm import (
     build_graph_image,
     create_segment,
 )
+from repro.runtime.supervisor import (
+    MAIN_GUARD_HINT,
+    Checkpoint,
+    Supervisor,
+    WorkerFailure,
+)
 
-__all__ = ["WorkerPool", "PoolError"]
+__all__ = ["WorkerPool", "PoolError", "WorkerLost"]
+
+log = logging.getLogger("repro.runtime.pool")
 
 #: Upper bound on per-entry vertex-id bytes in a combined batch (int64).
 _VERTEX_BYTES = 8
 
 
-class PoolError(RuntimeError):
-    """A worker raised; the embedded traceback is the worker's."""
+class _StepFailures(Exception):
+    """Internal: one superstep's collected worker failures (recoverable)."""
+
+    def __init__(self, failures: list[WorkerFailure]):
+        super().__init__(f"{len(failures)} worker failure(s)")
+        self.failures = failures
 
 
 class _WorkerCluster:
@@ -81,18 +120,24 @@ class _WorkerCluster:
         return owner_of_bounds(self.bounds, vertices)
 
 
-def _worker_main(conn, manifest, worker_id: int, rng_seed: int) -> None:
+def _worker_main(
+    conn, manifest, worker_id: int, rng_seed: int, fault_events=None
+) -> None:
     """One pool worker: attach the image once, then serve ops until close.
 
     Every callable received over the pipe (task builders, resetters,
     probes) must be a picklable module-level function — see
-    :mod:`repro.core.adapters`.
+    :mod:`repro.core.adapters`.  ``fault_events`` is this worker's slice of
+    the pool's :class:`~repro.runtime.fault.FaultPlan`; the worker enforces
+    its own crash/delay/drop/corrupt schedule so injected faults exercise
+    the identical detection paths real ones would.
     """
     image = attach_graph(manifest)
     machine = Machine(worker_id, image.partitions[worker_id])
     cluster = _WorkerCluster(image.bounds, np.random.default_rng(rng_seed))
     writer = OutboxWriter(worker_id)
     reader = OutboxReader()
+    injector = FaultInjector(fault_events)
     tasks: dict = {}
     current = None
     combiner = combine_or
@@ -108,6 +153,14 @@ def _worker_main(conn, manifest, worker_id: int, rng_seed: int) -> None:
             op = msg[0]
             try:
                 if op == "compute":
+                    step = msg[1]
+                    if injector.take(CRASH, step) is not None:
+                        # Die the hard way: no cleanup, no goodbye — the
+                        # parent must see raw pipe EOF, like a real crash.
+                        os._exit(CRASH_EXIT_CODE)
+                    delay = injector.take(DELAY, step)
+                    if delay is not None:
+                        time.sleep(delay.seconds)
                     stats = StepStats()
                     t0 = time.perf_counter()
                     current.compute(stats)
@@ -128,13 +181,28 @@ def _worker_main(conn, manifest, worker_id: int, rng_seed: int) -> None:
                         )
                     machine.outbox = TaskBuffer()
                     step_stats = stats
-                    conn.send(("out", refs, time.perf_counter() - t0))
+                    # The destinations the stats swear were sent to; the
+                    # coordinator cross-checks them against the refs that
+                    # actually arrived (dropped-outbox detection).
+                    sent = sorted(stats.bytes_sent)
+                    if injector.take(DROP_OUTBOX, step) is not None:
+                        refs = []
+                    conn.send(("out", refs, time.perf_counter() - t0, sent))
                 elif op == "apply":
+                    _, inbox, step = msg
                     t0 = time.perf_counter()
                     stats = step_stats if step_stats is not None else StepStats()
                     step_stats = None
-                    for sender, ref in msg[1]:
+                    corrupt = (
+                        injector.take(CORRUPT_INBOX, step) if inbox else None
+                    )
+                    for sender, ref in inbox:
                         vertices, payload = reader.view(ref)
+                        if corrupt is not None:
+                            payload = payload.copy()
+                            payload.view(np.uint8)[0] ^= 0xFF
+                            corrupt = None
+                        OutboxReader.verify(ref, vertices, payload)
                         machine.inbox.append(
                             sender, MessageBatch(vertices, payload)
                         )
@@ -166,6 +234,19 @@ def _worker_main(conn, manifest, worker_id: int, rng_seed: int) -> None:
                 elif op == "call":
                     _, fn, args, kwargs = msg
                     conn.send(("ok", fn(current, *args, **(kwargs or {}))))
+                elif op == "checkpoint":
+                    conn.send(("ok", current.checkpoint()))
+                elif op == "restore":
+                    # Roll back to a superstep barrier: task state from the
+                    # snapshot, in-flight buffers dropped (they belong to
+                    # the abandoned step).
+                    current.restore(msg[1])
+                    machine.reset_buffers()
+                    step_stats = None
+                    conn.send(("ok", None))
+                elif op == "set_fault_plan":
+                    injector.reset(msg[1])
+                    conn.send(("ok", None))
                 elif op == "outbox":
                     writer.attach(msg[1])
                     conn.send(("ok", None))
@@ -178,6 +259,11 @@ def _worker_main(conn, manifest, worker_id: int, rng_seed: int) -> None:
                     break
                 else:  # pragma: no cover - protocol misuse guard
                     raise RuntimeError(f"unknown op {op!r}")
+            except CorruptMessage as exc:
+                # Detected (or injected) corruption is an infrastructure
+                # fault, not a task bug: report it as recoverable so the
+                # coordinator replays from the checkpoint.
+                conn.send(("fault", CORRUPT_INBOX, str(exc)))
             except Exception:
                 conn.send(("err", traceback.format_exc()))
     finally:
@@ -196,7 +282,9 @@ class WorkerPool:
     Created lazily by ``GraphSession(backend="pool")`` and reused for every
     batch until :meth:`shutdown`.  The parent owns every shared-memory
     segment (graph image + per-worker outboxes) and unlinks them all on
-    shutdown; workers only ever attach.
+    shutdown; workers only ever attach — which is also what makes respawn
+    cheap: a replacement worker re-attaches the existing image and outbox
+    and restores task state from the last checkpoint.
     """
 
     def __init__(
@@ -206,6 +294,8 @@ class WorkerPool:
         instrumentation=None,
         start_method: str = "spawn",
         seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+        fault_tolerance: FaultTolerance | None = None,
     ):
         from repro.telemetry.instrument import NULL_INSTRUMENTATION
 
@@ -214,29 +304,26 @@ class WorkerPool:
         self.instr = instrumentation or NULL_INSTRUMENTATION
         self.num_workers = pg.num_partitions
         self.rng_seed = seed
+        self.fault_tolerance = fault_tolerance or FaultTolerance()
+        self._fault_plan = fault_plan
+        self._fault_consumed: set[tuple[int, int]] = set()
         self._token = secrets.token_hex(4)
         self._image, manifest = build_graph_image(pg, f"cgp{self._token}")
         self._outboxes: list = [None] * self.num_workers
         self._outbox_width = 0
         self._outbox_gen = 0
         self._installed: set = set()
+        self._current: tuple | None = None
+        self._armed: tuple = (combine_or, None, [()] * self.num_workers)
         self._closed = False
         ctx = mp.get_context(start_method)
-        self._conns = []
-        self._procs = []
+        self._sup = Supervisor(
+            ctx, _worker_main, manifest, self._token, seed, self.num_workers
+        )
         try:
-            for i in range(self.num_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, manifest, i, seed * 7919 + i),
-                    name=f"repro-pool-{self._token}-{i}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
+            self._sup.spawn_all(
+                fault_plan.events_for if fault_plan is not None else None
+            )
         except Exception:
             self.shutdown()
             raise
@@ -248,74 +335,67 @@ class WorkerPool:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def recoveries(self) -> int:
+        """Workers respawned over this pool's lifetime (supervision metric)."""
+        return self._sup.respawns
+
     def segment_names(self) -> list[str]:
         """Names of every live segment this pool owns (leak checks)."""
         segments = [self._image] + [s for s in self._outboxes if s is not None]
         return [s.name for s in segments]
 
     def shutdown(self) -> None:
-        """Stop every worker and unlink every owned segment (idempotent)."""
+        """Stop every worker and unlink every owned segment.
+
+        Idempotent and exception-safe: safe to call twice, safe to call
+        with workers already dead, safe from ``GraphSession.close()`` in an
+        ``except`` block mid-superstep — the parent owns the segments, so
+        they are unlinked no matter how the workers went away.
+        """
         if self._closed:
             return
         self._closed = True
         atexit.unregister(self.shutdown)
-        for conn in self._conns:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for conn in self._conns:
-            try:
-                if conn.poll(5):
-                    conn.recv()
-            except (EOFError, OSError):
-                pass
-            conn.close()
-        for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - hung worker guard
-                proc.terminate()
-                proc.join(timeout=5)
+        self._sup.shutdown()
         for shm in [self._image] + [s for s in self._outboxes if s is not None]:
             try:
                 shm.close()
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            except OSError:  # pragma: no cover - defensive
+                log.warning("failed to unlink segment %s", shm.name, exc_info=True)
         self._outboxes = [None] * self.num_workers
-        self._conns = []
-        self._procs = []
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("worker pool is shut down")
+            raise PoolError("worker pool is shut down")
 
     # -- pipe plumbing ------------------------------------------------------ #
 
-    def _recv(self, conn):
-        try:
-            reply = conn.recv()
-        except (EOFError, ConnectionResetError) as exc:
-            raise PoolError(
-                "pool worker died before replying. If this happened right "
-                "after pool startup, the spawned child may have failed to "
-                "re-import __main__: pool-using code must live in a real "
-                "module file with an `if __name__ == '__main__':` guard "
-                "(not a stdin/-c script)."
-            ) from exc
-        if reply[0] == "err":
-            raise PoolError(f"pool worker failed:\n{reply[1]}")
-        return reply[1:]
+    def _request(self, worker_id: int, message):
+        """Strict send+recv for control ops: any failure is WorkerLost."""
+        if not self._sup.send(worker_id, message):
+            raise WorkerLost(
+                f"pool worker {worker_id} is gone (pipe closed on send)."
+                + MAIN_GUARD_HINT
+            )
+        reply = self._sup.recv(worker_id)
+        if isinstance(reply, WorkerFailure):
+            raise WorkerLost(f"pool {reply}")
+        return reply
 
     def _broadcast(self, message) -> list:
-        for conn in self._conns:
-            conn.send(message)
-        return [self._recv(conn)[0] for conn in self._conns]
+        replies = []
+        for i in range(self.num_workers):
+            replies.append(self._request(i, message)[1])
+        return replies
 
     def _send_each(self, messages) -> list:
-        for conn, message in zip(self._conns, messages):
-            conn.send(message)
-        return [self._recv(conn)[0] for conn in self._conns]
+        return [
+            self._request(i, message)[1] for i, message in enumerate(messages)
+        ]
 
     # -- batch protocol ------------------------------------------------------ #
 
@@ -337,6 +417,9 @@ class WorkerPool:
         """
         self._check_open()
         self._ensure_outboxes(payload_width)
+        # Remember how to rebuild the current task: a respawned worker gets
+        # a fresh install of this build before its checkpoint restore.
+        self._current = (key, build, build_kwargs)
         if key in self._installed:
             self._broadcast(("reset", key, reset, reset_kwargs))
         else:
@@ -394,6 +477,7 @@ class WorkerPool:
         self._check_open()
         if probe_args is None:
             probe_args = [()] * self.num_workers
+        self._armed = (combiner, probe, list(probe_args))
         self._send_each(
             [("arm", combiner, probe, args) for args in probe_args]
         )
@@ -403,16 +487,175 @@ class WorkerPool:
         self._check_open()
         return self._broadcast(("call", fn, args, kwargs))
 
-    def run(self, max_supersteps: int | None = None, on_step=None) -> EngineResult:
+    def set_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Adopt a new injection schedule on every live worker (test hook)."""
+        self._check_open()
+        self._fault_plan = plan
+        self._fault_consumed = set()
+        self._send_each(
+            [
+                ("set_fault_plan", plan.events_for(i) if plan is not None else [])
+                for i in range(self.num_workers)
+            ]
+        )
+
+    # -- supervision --------------------------------------------------------- #
+
+    def _take_checkpoint(
+        self, step: int, clock: VirtualClock, history: list
+    ) -> Checkpoint:
+        """Snapshot every worker's task state + the coordinator's clock."""
+        states = self._broadcast(("checkpoint",))
+        return Checkpoint(
+            step=step,
+            task_states=states,
+            per_step_seconds=list(clock.per_step),
+            history=list(history),
+        )
+
+    def _recover(
+        self, failures: list[WorkerFailure], failed_step: int, ckpt: Checkpoint
+    ) -> None:
+        """Respawn the dead, then roll *every* worker back to ``ckpt``.
+
+        One-shot fault events a dead worker's injector had already consumed
+        (its in-memory fired-set died with it) are marked consumed on the
+        coordinator side, so the replacement worker does not replay its own
+        murder.  Sticky events are deliberately re-shipped — they model
+        faults that survive any number of recoveries.
+        """
+        for f in failures:
+            log.warning(
+                "recovering from pool %s at superstep %d", f, failed_step
+            )
+            if f.kind not in ("crash", "hang"):
+                # Live worker (dropped outbox / corrupt inbox): it replied,
+                # its own injector already marked the event fired; nothing
+                # to do beyond the restore below.  Deliberately NOT an
+                # is_alive() probe: a crashed worker's pipe EOF can be
+                # observed before the kernel finishes tearing the process
+                # down, so liveness polls race with detection.
+                continue
+            events: list = []
+            if self._fault_plan is not None:
+                for e in self._fault_plan.events_for(f.worker_id):
+                    if not e.sticky and e.step <= failed_step:
+                        self._fault_consumed.add((f.worker_id, e.event_id))
+                events = [
+                    e
+                    for e in self._fault_plan.events_for(f.worker_id)
+                    if (f.worker_id, e.event_id) not in self._fault_consumed
+                ]
+            self._sup.respawn(f.worker_id, events)
+            i = f.worker_id
+            if self._outboxes[i] is not None:
+                self._request(i, ("outbox", self._outboxes[i].name))
+            if self._current is None:
+                raise WorkerLost(
+                    "cannot recover: no task was ever installed on this pool"
+                )
+            key, build, build_kwargs = self._current
+            self._request(i, ("install", key, build, build_kwargs))
+            combiner, probe, probe_args = self._armed
+            self._request(i, ("arm", combiner, probe, probe_args[i]))
+        # The replacement workers only have the current task resident.
+        self._installed = {self._current[0]} if self._current else set()
+        self._send_each([("restore", state) for state in ckpt.task_states])
+
+    def _superstep(self, step: int, timeout: float | None):
+        """One compute/route/apply round; raises _StepFailures on trouble.
+
+        Both barriers *collect* failures instead of raising at the first
+        one: every healthy worker's reply is drained first, so the pipes
+        are at a clean protocol boundary when recovery starts.
+        """
+        sup = self._sup
+        n = self.num_workers
+        failures: list[WorkerFailure] = []
+        pending = []
+        for i in range(n):
+            if sup.send(i, ("compute", step)):
+                pending.append(i)
+            else:
+                failures.append(
+                    WorkerFailure(i, CRASH, "pipe closed on compute send")
+                )
+        outs: dict[int, tuple] = {}
+        for i in pending:
+            reply = sup.recv(i, timeout)
+            if isinstance(reply, WorkerFailure):
+                failures.append(reply)
+            else:
+                outs[i] = reply[1:]  # (refs, wall, sent)
+        for i, (refs, _wall, sent) in outs.items():
+            dests = sorted({ref.dest for ref in refs})
+            if dests != list(sent):
+                failures.append(
+                    WorkerFailure(
+                        i,
+                        DROP_OUTBOX,
+                        f"send accounting names {list(sent)} but refs "
+                        f"cover {dests}",
+                    )
+                )
+        if failures:
+            raise _StepFailures(failures)
+        routed: list[list] = [[] for _ in range(n)]
+        for sender in range(n):
+            for ref in outs[sender][0]:
+                routed[ref.dest].append((sender, ref))
+        pending = []
+        for i in range(n):
+            if sup.send(i, ("apply", routed[i], step)):
+                pending.append(i)
+            else:
+                failures.append(
+                    WorkerFailure(i, CRASH, "pipe closed on apply send")
+                )
+        votes = [False] * n
+        stats: list = [None] * n
+        probes: list = [None] * n
+        walls = [0.0] * n
+        for i in pending:
+            reply = sup.recv(i, timeout)
+            if isinstance(reply, WorkerFailure):
+                failures.append(reply)
+                continue
+            _tag, vote, machine_stats, probed, apply_wall = reply
+            votes[i] = vote
+            stats[i] = machine_stats
+            probes[i] = probed
+            walls[i] = outs[i][1] + apply_wall
+        if failures:
+            raise _StepFailures(failures)
+        return votes, stats, probes, walls
+
+    # -- the engine loop ----------------------------------------------------- #
+
+    def run(
+        self,
+        max_supersteps: int | None = None,
+        on_step=None,
+        max_virtual_seconds: float | None = None,
+    ) -> EngineResult:
         """Drive seeded worker tasks to quiescence (the parallel engine loop).
 
         Semantics mirror :meth:`SuperstepEngine.run` exactly — same step
-        cap, same vote handling, same virtual clock — with one extension:
+        cap, same vote handling, same virtual clock — with two extensions:
         ``on_step(step_index, per_machine_stats, virtual_now, probe_results)``
         may return a ``(fn, args)`` control to broadcast to every worker
-        before the next superstep (reachability's early termination).
+        before the next superstep (reachability's early termination), and
+        ``max_virtual_seconds`` stops the run at the first barrier where the
+        virtual clock has passed the deadline (``result.truncated``).
+
+        Worker failures inside the loop are recovered transparently by
+        checkpoint replay (see the module docstring); recovered runs return
+        bit-identical results.  Past the recovery budget the pool shuts
+        itself down (processes reaped, segments unlinked — nothing leaks)
+        and raises :class:`~repro.errors.WorkerLost`.
         """
         self._check_open()
+        ft = self.fault_tolerance
         instr = self.instr
         tracing = instr.enabled
         vbase = instr.tracer.virtual_now if tracing else 0.0
@@ -420,39 +663,68 @@ class WorkerPool:
         history: list[list[StepStats]] = []
         step = 0
         active = True
-        conns = self._conns
-        while active and (max_supersteps is None or step < max_supersteps):
-            wall0 = time.perf_counter() if tracing else 0.0
-            for conn in conns:
-                conn.send(("compute",))
-            outs = [self._recv(conn) for conn in conns]
-            routed: list[list] = [[] for _ in conns]
-            for sender, (refs, _wall) in enumerate(outs):
-                for ref in refs:
-                    routed[ref.dest].append((sender, ref))
-            for conn, inbox in zip(conns, routed):
-                conn.send(("apply", inbox))
-            votes, stats, probes, walls = [], [], [], []
-            for i, conn in enumerate(conns):
-                vote, machine_stats, probed, apply_wall = self._recv(conn)
-                votes.append(vote)
-                stats.append(machine_stats)
-                probes.append(probed)
-                walls.append(outs[i][1] + apply_wall)
-            active = any(votes)
-            clock.advance(self.netmodel.superstep_seconds(stats))
-            if tracing:
-                emit_superstep(
-                    instr, self.netmodel, step, stats, clock, vbase,
-                    wall0, time.perf_counter(), wall_compute=walls,
+        recoveries = 0
+        # Telemetry high-water mark: replayed supersteps must not re-emit
+        # spans/metrics, or recovered runs would double-count.
+        emitted = 0
+        try:
+            ckpt = self._take_checkpoint(0, clock, history)
+            while (
+                active
+                and (max_supersteps is None or step < max_supersteps)
+                and (
+                    max_virtual_seconds is None
+                    or clock.now < max_virtual_seconds
                 )
-            history.append(stats)
-            step += 1
-            if on_step is not None:
-                control = on_step(step - 1, stats, clock.now, probes)
-                if control is not None:
-                    fn, args = control
-                    self._broadcast(("call", fn, args, None))
+            ):
+                wall0 = time.perf_counter() if tracing else 0.0
+                try:
+                    votes, stats, probes, walls = self._superstep(
+                        step, ft.step_timeout
+                    )
+                except _StepFailures as exc:
+                    recoveries += len(exc.failures)
+                    for f in exc.failures:
+                        instr.on_fault(f.kind)
+                    if recoveries > ft.max_recoveries:
+                        raise WorkerLost(
+                            f"recovery budget exhausted ({recoveries} > "
+                            f"{ft.max_recoveries}) at superstep {step}: "
+                            + "; ".join(str(f) for f in exc.failures)
+                        )
+                    self._recover(exc.failures, step, ckpt)
+                    step = ckpt.step
+                    clock = VirtualClock()
+                    for seconds in ckpt.per_step_seconds:
+                        clock.advance(seconds)
+                    history = list(ckpt.history)
+                    active = True
+                    instr.on_recovery()
+                    continue
+                active = any(votes)
+                clock.advance(self.netmodel.superstep_seconds(stats))
+                if tracing and step >= emitted:
+                    emit_superstep(
+                        instr, self.netmodel, step, stats, clock, vbase,
+                        wall0, time.perf_counter(), wall_compute=walls,
+                    )
+                    emitted = step + 1
+                history.append(stats)
+                step += 1
+                if on_step is not None:
+                    control = on_step(step - 1, stats, clock.now, probes)
+                    if control is not None:
+                        fn, args = control
+                        self._broadcast(("call", fn, args, None))
+                if active and step % ft.checkpoint_interval == 0:
+                    ckpt = self._take_checkpoint(step, clock, history)
+                    instr.on_checkpoint()
+        except WorkerLost:
+            # Past saving for this batch: release processes and segments now
+            # so an abandoned pool cannot leak them; the session's retry
+            # policy decides what happens next (fresh pool or degradation).
+            self.shutdown()
+            raise
         if tracing:
             instr.tracer.virtual_now = vbase + clock.now
         return EngineResult(
@@ -460,6 +732,11 @@ class WorkerPool:
             virtual_seconds=clock.now,
             per_step_seconds=list(clock.per_step),
             per_step_stats=history,
+            truncated=bool(
+                active
+                and max_virtual_seconds is not None
+                and clock.now >= max_virtual_seconds
+            ),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

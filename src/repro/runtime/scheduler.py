@@ -36,6 +36,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import InvalidQueryError, Overloaded
+
 __all__ = [
     "simulate_fifo_pool",
     "simulate_serialized",
@@ -172,6 +174,15 @@ class ServiceReport:
     reachable: np.ndarray | None = None  # int8, -1 = not a point query
     routes: np.ndarray | None = None  # "index" | "traversal" per query
     busy_seconds: float = 0.0  # virtual execution time this drain dispatched
+    #: Per-query flag: its batch hit the service deadline before the query
+    #: settled (its answer is the partial/best-effort one).  None when the
+    #: service runs without a deadline.
+    deadline_missed: np.ndarray | None = None
+    #: True when the session served batches on the in-process fallback
+    #: after losing its worker pool (see GraphSession degradation ladder).
+    degraded: bool = False
+    #: Submissions rejected by admission control since the last drain.
+    shed: int = 0
 
     @property
     def response_seconds(self) -> np.ndarray:
@@ -295,6 +306,8 @@ class QueryService:
         planner: str = "traversal",
         cross_check: bool = False,
         instrumentation=None,
+        deadline_seconds: float | None = None,
+        max_pending: int | None = None,
     ):
         if discipline not in ("batch", "pool"):
             raise ValueError("discipline must be 'batch' or 'pool'")
@@ -304,6 +317,10 @@ class QueryService:
             raise ValueError("planner must be 'traversal' or 'hybrid'")
         if cross_check and planner != "hybrid":
             raise ValueError("cross_check only applies to the hybrid planner")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.session = session
         # the session's facade unless explicitly overridden, so one
         # Instrumentation covers engine, session and service spans
@@ -323,6 +340,17 @@ class QueryService:
             raise ValueError("concurrency must be >= 1")
         self.concurrency = int(concurrency)
         self.use_edge_sets = bool(use_edge_sets)
+        #: Virtual-seconds budget per dispatched batch: a batch stops at the
+        #: first superstep barrier past it and unresolved queries are
+        #: reported with ``deadline_missed`` (graceful degradation, not an
+        #: error).  Applies to traversal dispatches (batch/reach); the
+        #: pool discipline charges memoised full service times.
+        self.deadline_seconds = deadline_seconds
+        #: Admission bound: submissions past this many pending queries are
+        #: rejected with :class:`~repro.errors.Overloaded` (load shedding).
+        self.max_pending = max_pending
+        self.shed = 0
+        self.deadline_misses = 0
         self.clock = 0.0
         self.batches_dispatched = 0
         self._dispatch_seq = 0  # span numbering (monotone across drains)
@@ -342,13 +370,27 @@ class QueryService:
         With a ``target`` the query asks *is target within k hops of
         source* (a point reachability query, eligible for index routing);
         without one it asks for the full k-hop reach set.
+
+        Raises :class:`~repro.errors.Overloaded` when the service's
+        ``max_pending`` admission bound is hit — shed load early rather
+        than queueing without bound (callers can back off and resubmit).
         """
+        if (
+            self.max_pending is not None
+            and len(self._pending) >= self.max_pending
+        ):
+            self.shed += 1
+            self.instr.on_shed()
+            raise Overloaded(
+                f"query shed: {len(self._pending)} pending >= "
+                f"max_pending={self.max_pending}"
+            )
         if not 0 <= int(source) < self.session.num_vertices:
-            raise ValueError("source vertex out of range")
+            raise InvalidQueryError("source vertex out of range")
         if target is not None and not 0 <= int(target) < self.session.num_vertices:
-            raise ValueError("target vertex out of range")
+            raise InvalidQueryError("target vertex out of range")
         if arrival < 0:
-            raise ValueError("arrival time must be non-negative")
+            raise InvalidQueryError("arrival time must be non-negative")
         qid = self._next_id
         self._next_id += 1
         self._pending.append(
@@ -397,7 +439,7 @@ class QueryService:
         queries run under the configured discipline.
         """
         if not self._pending:
-            return self._report([], {}, {}, 0, {}, {}, 0.0)
+            return self._report([], {}, {}, 0, {}, {}, 0.0, {})
         # FIFO: by arrival time, ties broken by submission order
         queue = sorted(self._pending, key=lambda q: (q.arrival, q.query_id))
         self._pending = []
@@ -405,6 +447,7 @@ class QueryService:
         finishes: dict[int, float] = {}
         verdicts: dict[int, bool] = {}
         routes: dict[int, str] = {}
+        missed: dict[int, bool] = {}
         num_dispatches = 0
         busy = 0.0
         point = [q for q in queue if q.target is not None]
@@ -420,20 +463,24 @@ class QueryService:
                     )
                 else:
                     n, t = self._drain_point_traversal(
-                        point, starts, finishes, verdicts, routes
+                        point, starts, finishes, verdicts, routes, missed
                     )
                 num_dispatches += n
                 busy += t
             if enum:
                 if self.discipline == "batch":
-                    n, t = self._drain_batch(enum, starts, finishes)
+                    n, t = self._drain_batch(enum, starts, finishes, missed)
                 else:
                     n, t = self._drain_pool(enum, starts, finishes)
                 num_dispatches += n
                 busy += t
         self.batches_dispatched += num_dispatches
+        if missed:
+            self.deadline_misses += len(missed)
+            self.instr.on_deadline_miss(len(missed))
         report = self._report(
-            queue, starts, finishes, num_dispatches, verdicts, routes, busy
+            queue, starts, finishes, num_dispatches, verdicts, routes, busy,
+            missed,
         )
         if self.instr.enabled:
             for route, resp in zip(report.routes, report.response_seconds):
@@ -477,7 +524,7 @@ class QueryService:
         return len(queue), answer.total_seconds
 
     def _drain_point_traversal(
-        self, queue, starts, finishes, verdicts, routes
+        self, queue, starts, finishes, verdicts, routes, missed
     ) -> tuple[int, float]:
         """Point queries on the bit-parallel reachability engine (word-wide
         FIFO batches with per-query early termination)."""
@@ -502,13 +549,18 @@ class QueryService:
                     [q.target for q in batch],
                     self.k,
                     use_edge_sets=self.use_edge_sets,
+                    max_virtual_seconds=self.deadline_seconds,
                 ),
             )
             for j, q in enumerate(batch):
                 starts[q.query_id] = now
-                finishes[q.query_id] = now + float(res.resolution_seconds[j])
                 verdicts[q.query_id] = bool(res.reachable[j])
                 routes[q.query_id] = "traversal"
+                if res.resolved is None or res.resolved[j]:
+                    finishes[q.query_id] = now + float(res.resolution_seconds[j])
+                else:
+                    finishes[q.query_id] = now + float(res.virtual_seconds)
+                    missed[q.query_id] = True
             self.clock = now + float(res.virtual_seconds)
             busy += float(res.virtual_seconds)
             num_batches += 1
@@ -551,7 +603,7 @@ class QueryService:
         ):
             return run()
 
-    def _drain_batch(self, queue, starts, finishes) -> tuple[int, float]:
+    def _drain_batch(self, queue, starts, finishes, missed) -> tuple[int, float]:
         from repro.core.khop import concurrent_khop
 
         num_batches = 0
@@ -576,11 +628,16 @@ class QueryService:
                     self.k,
                     use_edge_sets=self.use_edge_sets,
                     session=self.session,
+                    max_virtual_seconds=self.deadline_seconds,
                 ),
             )
             for j, q in enumerate(batch):
                 starts[q.query_id] = now
-                finishes[q.query_id] = now + float(res.completion_seconds[j])
+                if res.resolved is None or res.resolved[j]:
+                    finishes[q.query_id] = now + float(res.completion_seconds[j])
+                else:
+                    finishes[q.query_id] = now + float(res.virtual_seconds)
+                    missed[q.query_id] = True
             self.clock = now + float(res.virtual_seconds)
             busy += float(res.virtual_seconds)
             num_batches += 1
@@ -604,11 +661,13 @@ class QueryService:
 
     def _report(
         self, queue, starts, finishes, num_batches, verdicts=None, routes=None,
-        busy_seconds: float = 0.0,
+        busy_seconds: float = 0.0, missed=None,
     ) -> ServiceReport:
         by_id = sorted(queue, key=lambda q: q.query_id)
         verdicts = verdicts or {}
         routes = routes or {}
+        missed = missed or {}
+        shed, self.shed = self.shed, 0
         ids = np.array([q.query_id for q in by_id], dtype=np.int64)
         return ServiceReport(
             query_ids=ids,
@@ -631,4 +690,13 @@ class QueryService:
                 dtype="<U9",
             ),
             busy_seconds=float(busy_seconds),
+            deadline_missed=(
+                None
+                if self.deadline_seconds is None
+                else np.array(
+                    [bool(missed.get(q.query_id, False)) for q in by_id]
+                )
+            ),
+            degraded=bool(getattr(self.session, "degraded", False)),
+            shed=shed,
         )

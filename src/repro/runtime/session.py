@@ -36,18 +36,24 @@ changes.  Pool sessions should be closed (:meth:`GraphSession.close` or
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Callable
 
 import numpy as np
 
+from repro.errors import DeadlineExceeded, InvalidQueryError, WorkerLost
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import PartitionedGraph, range_partition
 from repro.runtime.cluster import Machine, SimCluster
 from repro.runtime.engine import EngineResult, PartitionTask, SuperstepEngine
+from repro.runtime.fault import FaultPlan, FaultTolerance, RetryPolicy
 from repro.runtime.message import combine_or
 from repro.runtime.netmodel import NetworkModel
 
 __all__ = ["GraphSession"]
+
+log = logging.getLogger("repro.runtime.session")
 
 
 class GraphSession:
@@ -82,6 +88,21 @@ class GraphSession:
         in-process path on a pool session.
     pool_seed:
         Base seed for the pool workers' per-process RNGs (determinism).
+    retry_policy:
+        How a pool batch that loses its workers is retried
+        (:class:`~repro.runtime.fault.RetryPolicy`): fresh-pool attempts
+        with exponential backoff, an optional wall-clock deadline, and —
+        by default — transparent degradation to the in-process engine when
+        the budget is exhausted.  Answers stay bit-identical either way.
+    fault_tolerance:
+        The supervisor's knobs (:class:`~repro.runtime.fault.FaultTolerance`):
+        checkpoint interval, per-step hang timeout, recovery budget.
+        Shared by the pool coordinator and the in-process resilient path.
+    fault_plan:
+        A deterministic :class:`~repro.runtime.fault.FaultPlan` injection
+        schedule (tests/chaos only).  On a pool session it is threaded into
+        the workers; on an in-process session it arms the cluster's
+        injector.  The degraded fallback never re-injects.
     """
 
     def __init__(
@@ -95,6 +116,9 @@ class GraphSession:
         instrumentation=None,
         backend: str = "inproc",
         pool_seed: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        fault_tolerance: FaultTolerance | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         from repro.telemetry.instrument import NULL_INSTRUMENTATION
 
@@ -108,10 +132,23 @@ class GraphSession:
         if edge_sets:
             self.build_edge_sets(sets_per_partition, consolidate_min_edges)
         self.netmodel = netmodel or NetworkModel()
-        self.cluster = SimCluster(self.pg, self.netmodel, self.instr)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_tolerance = fault_tolerance or FaultTolerance()
+        self.fault_plan = fault_plan
+        self.cluster = SimCluster(
+            self.pg,
+            self.netmodel,
+            self.instr,
+            fault_plan=fault_plan if backend == "inproc" else None,
+            fault_tolerance=self.fault_tolerance,
+        )
         self.backend = backend
         self.pool_seed = pool_seed
         self._pool = None  # WorkerPool, started lazily by pool()
+        self._degraded = False
+        self._fallback_tasks: list[PartitionTask] | None = None
+        self.pool_failures = 0
+        self.degraded_batches = 0
         self.batches_run = 0
         self._task_cache: dict[tuple, list[PartitionTask]] = {}
         self._undirected_pg: PartitionedGraph | None = None
@@ -162,19 +199,52 @@ class GraphSession:
                     netmodel=self.netmodel,
                     instrumentation=self.instr,
                     seed=self.pool_seed,
+                    fault_plan=self.fault_plan,
+                    fault_tolerance=self.fault_tolerance,
                 )
         return self._pool
+
+    @property
+    def degraded(self) -> bool:
+        """True once pool batches fell back to the in-process engine."""
+        return self._degraded
+
+    def reset_degradation(self) -> None:
+        """Forget a degradation: the next pool batch tries workers again."""
+        self._degraded = False
+        self._fallback_tasks = None
+
+    def set_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Adopt an injection schedule for subsequent batches (test hook).
+
+        Pool sessions arm the live workers (and any pool started later);
+        in-process sessions arm the cluster's injector.  Never both — the
+        degraded fallback of a pool session must run fault-free, or a
+        sticky fault would chase the batch down the degradation ladder.
+        """
+        self.fault_plan = plan
+        if self.uses_pool:
+            if self._pool is not None and not self._pool.closed:
+                self._pool.set_fault_plan(plan)
+        else:
+            self.cluster.set_fault_plan(plan)
 
     def close(self) -> None:
         """Stop the worker pool (processes + shared memory), if started.
 
-        Idempotent; the session remains usable — the next pool batch starts
-        a fresh pool.  In-process state (graph, cluster, caches) is
-        untouched.
+        Idempotent and exception-safe: closing twice, closing a session
+        whose workers already died, or closing mid-batch from an ``except``
+        block never raises and never leaks a shared-memory segment (the
+        parent owns them all and unlinks unconditionally).  The session
+        remains usable — the next pool batch starts a fresh pool.
         """
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown()
+        except Exception:  # pragma: no cover - defensive
+            log.warning("pool shutdown raised; segments may leak", exc_info=True)
 
     def __enter__(self) -> "GraphSession":
         return self
@@ -278,12 +348,12 @@ class GraphSession:
         """Coerce to int64 vertex ids; reject lossy or out-of-range input."""
         arr = np.asarray(ids)
         if arr.dtype == object or arr.dtype.kind not in "iuf":
-            raise ValueError(f"{name} must be integer vertex ids")
+            raise InvalidQueryError(f"{name} must be integer vertex ids")
         out = arr.astype(np.int64)
         if arr.dtype.kind == "f" and not np.array_equal(out, arr):
-            raise ValueError(f"{name} must be integer vertex ids")
+            raise InvalidQueryError(f"{name} must be integer vertex ids")
         if out.size and (out.min() < 0 or out.max() >= self.pg.num_vertices):
-            raise ValueError(f"{name.rstrip('s')} vertex out of range")
+            raise InvalidQueryError(f"{name.rstrip('s')} vertex out of range")
         return out
 
     def check_sources(self, sources, max_width: int) -> np.ndarray:
@@ -291,7 +361,7 @@ class GraphSession:
         sources = self._as_vertex_ids(sources, "sources")
         num_queries = int(sources.size)
         if not 1 <= num_queries <= max_width:
-            raise ValueError(
+            raise InvalidQueryError(
                 f"need 1..{max_width} sources, got {num_queries}"
             )
         return sources
@@ -305,7 +375,7 @@ class GraphSession:
         """
         targets = self._as_vertex_ids(targets, "targets")
         if int(targets.size) != num_queries:
-            raise ValueError(
+            raise InvalidQueryError(
                 f"need one target per source, got {targets.size} targets "
                 f"for {num_queries} sources"
             )
@@ -360,6 +430,7 @@ class GraphSession:
         parallel_compute: bool = False,
         max_supersteps: int | None = None,
         on_step=None,
+        max_virtual_seconds: float | None = None,
     ) -> EngineResult:
         """Drive one batch of seeded tasks to quiescence on the cluster."""
         engine = SuperstepEngine(
@@ -373,7 +444,11 @@ class GraphSession:
             f"run batch {self.batches_run}", cat="batch",
             query_batch=self.batches_run,
         ):
-            result = engine.run(max_supersteps=max_supersteps, on_step=on_step)
+            result = engine.run(
+                max_supersteps=max_supersteps,
+                on_step=on_step,
+                max_virtual_seconds=max_virtual_seconds,
+            )
         self.batches_run += 1
         return result
 
@@ -391,6 +466,7 @@ class GraphSession:
         on_step=None,
         probe=None,
         probe_args=None,
+        max_virtual_seconds: float | None = None,
     ) -> EngineResult:
         """Drive one batch on the worker pool (the parallel twin of
         :meth:`tasks_for` + :meth:`seed_sources` + :meth:`run_batch`).
@@ -399,21 +475,157 @@ class GraphSession:
         module-level functions (see :mod:`repro.core.adapters`); resident
         worker-side task state under ``cache_key`` is re-armed across
         batches exactly like the in-process task cache.
+
+        Failure handling is layered (the degradation ladder): worker
+        failures *within* an attempt are recovered by the pool's own
+        checkpoint replay; an attempt that exhausts its recovery budget
+        raises :class:`~repro.errors.WorkerLost`, the broken pool is torn
+        down (no leaked processes or segments) and the batch is retried on
+        a fresh pool per :attr:`retry_policy`; once attempts (or the wall
+        deadline) run out, the batch transparently degrades to the
+        in-process engine — same adapters, same seeds, bit-identical
+        answers — and the session stays degraded for later batches.  A
+        :class:`~repro.errors.WorkerTaskError` (the task itself raised) is
+        deterministic and propagates immediately: a retry cannot help.
         """
-        pool = self.pool()
-        pool.ensure_task(
-            cache_key, build, build_kwargs, reset, reset_kwargs, payload_width
+        if self._degraded:
+            return self._run_batch_degraded(
+                build, build_kwargs, seeds, combiner, max_supersteps,
+                on_step, probe, probe_args, max_virtual_seconds,
+            )
+        policy = self.retry_policy
+        started = time.monotonic()
+        attempt = 0
+        last_exc: WorkerLost | None = None
+        while True:
+            attempt += 1
+            try:
+                pool = self.pool()
+                pool.ensure_task(
+                    cache_key, build, build_kwargs, reset, reset_kwargs,
+                    payload_width,
+                )
+                if seeds is not None:
+                    pool.seed(seeds)
+                pool.arm(combiner=combiner, probe=probe, probe_args=probe_args)
+                with self.instr.span(
+                    f"run batch {self.batches_run}", cat="batch",
+                    query_batch=self.batches_run,
+                ):
+                    result = pool.run(
+                        max_supersteps=max_supersteps,
+                        on_step=on_step,
+                        max_virtual_seconds=max_virtual_seconds,
+                    )
+                self.batches_run += 1
+                self._fallback_tasks = None
+                return result
+            except WorkerLost as exc:
+                last_exc = exc
+                self.pool_failures += 1
+                log.warning(
+                    "pool attempt %d/%d lost: %s",
+                    attempt, policy.max_attempts, exc,
+                )
+                # Tear the broken pool down *now*: run() already shut it
+                # down on WorkerLost, but close() also drops our handle and
+                # is the single place that guarantees no segment leaks.
+                self.close()
+                out_of_time = (
+                    policy.deadline is not None
+                    and time.monotonic() - started >= policy.deadline
+                )
+                if attempt < policy.max_attempts and not out_of_time:
+                    self.instr.on_pool_retry()
+                    time.sleep(policy.backoff(attempt))
+                    continue
+                if policy.degrade:
+                    break
+                if out_of_time and attempt < policy.max_attempts:
+                    raise DeadlineExceeded(
+                        f"pool retry deadline ({policy.deadline:g}s) passed "
+                        f"after {attempt} attempt(s)"
+                    ) from exc
+                raise
+        self._degraded = True
+        self.instr.on_degrade()
+        log.warning(
+            "degrading to the in-process engine after %d failed pool "
+            "attempt(s): %s", attempt, last_exc,
         )
+        return self._run_batch_degraded(
+            build, build_kwargs, seeds, combiner, max_supersteps,
+            on_step, probe, probe_args, max_virtual_seconds,
+        )
+
+    def _run_batch_degraded(
+        self,
+        build,
+        build_kwargs: dict,
+        seeds,
+        combiner,
+        max_supersteps: int | None,
+        on_step,
+        probe,
+        probe_args,
+        max_virtual_seconds: float | None,
+    ) -> EngineResult:
+        """One pool batch served by the in-process engine instead.
+
+        Builds tasks through the *same* pool adapters the workers would
+        have used, replays the seeds, and emulates the pool's ``on_step``
+        contract (worker-side probes, broadcast controls) so entry points
+        cannot tell the backends apart — answers and virtual clocks are
+        bit-identical.  The tasks are kept for :meth:`gather_batch`.
+        """
+        self.degraded_batches += 1
+        self.cluster.reset_buffers()
+        tasks = [
+            build(machine, self.cluster, **build_kwargs)
+            for machine in self.cluster.machines
+        ]
         if seeds is not None:
-            pool.seed(seeds)
-        pool.arm(combiner=combiner, probe=probe, probe_args=probe_args)
-        with self.instr.span(
-            f"run batch {self.batches_run}", cat="batch",
-            query_batch=self.batches_run,
-        ):
-            result = pool.run(max_supersteps=max_supersteps, on_step=on_step)
-        self.batches_run += 1
+            for task, per_machine in zip(tasks, seeds):
+                for local_vertex, q in per_machine:
+                    task.seed(local_vertex, q)
+        args_by_machine = (
+            list(probe_args) if probe_args is not None else [()] * len(tasks)
+        )
+
+        def wrapped(step_index, stats, now):
+            probes = None
+            if probe is not None:
+                probes = [
+                    probe(task, *args_by_machine[i])
+                    for i, task in enumerate(tasks)
+                ]
+            control = on_step(step_index, stats, now, probes)
+            if control is not None:
+                fn, fargs = control
+                for task in tasks:
+                    fn(task, *fargs)
+
+        result = self.run_batch(
+            tasks,
+            combiner=combiner,
+            max_supersteps=max_supersteps,
+            on_step=wrapped if on_step is not None else None,
+            max_virtual_seconds=max_virtual_seconds,
+        )
+        self._fallback_tasks = tasks
         return result
+
+    def gather_batch(self, fn, *args) -> list:
+        """Collect ``fn(task, *args)`` per machine for the last pool batch.
+
+        The backend-agnostic twin of ``pool().gather``: on a healthy pool
+        session it asks the workers; on a degraded one it reads the
+        in-process fallback tasks.  Entry points use this so degradation
+        stays invisible to them.
+        """
+        if self._degraded and self._fallback_tasks is not None:
+            return [fn(task, *args) for task in self._fallback_tasks]
+        return self.pool().gather(fn, *args)
 
     # -- algorithm conveniences (lazy imports: core depends on runtime) ----- #
 

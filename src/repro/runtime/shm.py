@@ -28,8 +28,10 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.errors import CorruptMessage, PoolError
 from repro.graph.csr import CSR
 from repro.graph.partition import Partition, PartitionedGraph
+from repro.runtime.fault import batch_checksum
 
 __all__ = [
     "ArraySpec",
@@ -83,13 +85,21 @@ class GraphManifest:
 
 @dataclass(frozen=True)
 class BatchRef:
-    """One combined message batch, by reference into a sender's outbox."""
+    """One combined message batch, by reference into a sender's outbox.
+
+    ``checksum`` is a CRC-32 over the batch's vertex + payload bytes,
+    computed by the sender as it writes the segment and re-verified by the
+    receiver before it applies the batch (``-1`` = unchecked).  It is the
+    end-to-end integrity check the fault model's ``corrupt_inbox`` events
+    are detected by.
+    """
 
     segment: str
     sender: int
     dest: int
     vertices: ArraySpec
     payload: ArraySpec
+    checksum: int = -1
 
 
 def _align8(offset: int) -> int:
@@ -260,7 +270,7 @@ class OutboxWriter:
         offset = _align8(self._cursor)
         end = offset + arr.nbytes
         if end > self._shm.size:
-            raise RuntimeError(
+            raise PoolError(
                 f"outbox segment overflow (worker {self.worker_id}: "
                 f"{end} > {self._shm.size} bytes)"
             )
@@ -270,13 +280,18 @@ class OutboxWriter:
         return spec
 
     def write(self, dest: int, vertices: np.ndarray, payload: np.ndarray) -> BatchRef:
-        """Copy one combined batch into the segment, return its reference."""
+        """Copy one combined batch into the segment, return its reference.
+
+        The reference carries a CRC-32 of the batch bytes so the receiver
+        can prove the payload survived the trip through shared memory.
+        """
         return BatchRef(
             segment=self._shm.name,
             sender=self.worker_id,
             dest=dest,
             vertices=self._write(vertices),
             payload=self._write(payload),
+            checksum=batch_checksum(vertices, payload),
         )
 
     def close(self) -> None:
@@ -304,6 +319,23 @@ class OutboxReader:
             shm = shared_memory.SharedMemory(name=ref.segment)
             self._by_sender[ref.sender] = shm
         return view_array(shm.buf, ref.vertices), view_array(shm.buf, ref.payload)
+
+    @staticmethod
+    def verify(ref: BatchRef, vertices: np.ndarray, payload: np.ndarray) -> None:
+        """Check a batch against its sender's checksum before applying it.
+
+        Separate from :meth:`view` so the fault-injection hook can corrupt
+        the receiver's copy *between* the read and the check — exactly the
+        window a real memory fault would occupy.
+        """
+        if ref.checksum == -1:
+            return
+        actual = batch_checksum(vertices, payload)
+        if actual != ref.checksum:
+            raise CorruptMessage(
+                f"batch {ref.sender}->{ref.dest} failed its checksum "
+                f"(expected {ref.checksum:#010x}, got {actual:#010x})"
+            )
 
     def close(self) -> None:
         for shm in self._by_sender.values():

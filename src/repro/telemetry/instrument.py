@@ -93,6 +93,30 @@ class Instrumentation:
             "cgraph_index_entries_scanned_total",
             "label entries scanned by index lookups",
         )
+        self._faults = m.counter(
+            "cgraph_faults_total", "worker faults detected", ("kind",)
+        )
+        self._recoveries = m.counter(
+            "cgraph_recoveries_total", "checkpoint-replay recoveries performed"
+        )
+        self._checkpoints = m.counter(
+            "cgraph_checkpoints_total", "superstep checkpoints taken"
+        )
+        self._pool_retries = m.counter(
+            "cgraph_pool_retries_total", "batches retried on a fresh pool"
+        )
+        self._degraded = m.counter(
+            "cgraph_degraded_batches_total",
+            "batches served by the in-process fallback after pool loss",
+        )
+        self._shed = m.counter(
+            "cgraph_queries_shed_total",
+            "query submissions rejected by admission control",
+        )
+        self._deadline_missed = m.counter(
+            "cgraph_deadline_missed_total",
+            "queries left unresolved at the batch deadline",
+        )
 
     # -- spans --------------------------------------------------------------- #
 
@@ -195,6 +219,29 @@ class Instrumentation:
         self._index_lookups.inc(num_queries)
         self._index_entries.inc(entries_scanned)
 
+    # -- fault-tolerance hooks ----------------------------------------------- #
+
+    def on_fault(self, kind: str) -> None:
+        self._faults.inc(kind=kind)
+
+    def on_recovery(self) -> None:
+        self._recoveries.inc()
+
+    def on_checkpoint(self) -> None:
+        self._checkpoints.inc()
+
+    def on_pool_retry(self) -> None:
+        self._pool_retries.inc()
+
+    def on_degrade(self) -> None:
+        self._degraded.inc()
+
+    def on_shed(self) -> None:
+        self._shed.inc()
+
+    def on_deadline_miss(self, count: int = 1) -> None:
+        self._deadline_missed.inc(count)
+
 
 class NullInstrumentation(Instrumentation):
     """The default: every hook is a no-op and ``enabled`` is False.
@@ -225,6 +272,27 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def on_index_lookup(self, *args, **kwargs) -> None:
+        pass
+
+    def on_fault(self, *args, **kwargs) -> None:
+        pass
+
+    def on_recovery(self, *args, **kwargs) -> None:
+        pass
+
+    def on_checkpoint(self, *args, **kwargs) -> None:
+        pass
+
+    def on_pool_retry(self, *args, **kwargs) -> None:
+        pass
+
+    def on_degrade(self, *args, **kwargs) -> None:
+        pass
+
+    def on_shed(self, *args, **kwargs) -> None:
+        pass
+
+    def on_deadline_miss(self, *args, **kwargs) -> None:
         pass
 
 

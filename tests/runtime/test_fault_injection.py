@@ -1,0 +1,283 @@
+"""Chaos suite: injected faults must never change an answer.
+
+Every test injects a deterministic :class:`FaultPlan` into a pool session
+and asserts the batch still matches the fault-free in-process reference
+**bit-identically** — reach counts, verdicts and the virtual clock.  The
+recovery machinery (checkpoint + rewind-replay + respawn) is only correct
+if it is invisible in the results; wall-clock is the only thing a fault is
+allowed to cost.
+
+The shared pool session is module-scoped (spawn paid once) and re-armed
+per test via ``set_fault_plan``; scenarios that poison the pool on purpose
+(budget exhaustion, degradation, hang timeouts) build their own sessions.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.wide import concurrent_khop_wide
+from repro.errors import WorkerLost
+from repro.graph import rmat_edges
+from repro.runtime.fault import FaultPlan, FaultTolerance, RetryPolicy
+from repro.runtime.session import GraphSession
+from repro.telemetry import Instrumentation
+
+
+def _pool_children():
+    return [p for p in mp.active_children() if p.name.startswith("repro-pool-")]
+
+
+def _shm_files(names):
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    present = set(os.listdir("/dev/shm"))
+    return [n for n in names if n in present]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_edges(10, 12000, seed=11).remove_self_loops().deduplicate()
+
+
+@pytest.fixture(scope="module")
+def inproc_sess(graph):
+    return GraphSession(graph, num_machines=2)
+
+
+@pytest.fixture(scope="module")
+def pool_sess(graph):
+    ft = FaultTolerance(max_recoveries=16, step_timeout=30.0)
+    with GraphSession(
+        graph, num_machines=2, backend="pool", fault_tolerance=ft
+    ) as sess:
+        yield sess
+
+
+@pytest.fixture(autouse=True)
+def _disarm(request):
+    """Leave the shared pool fault-free for the next test."""
+    yield
+    if "pool_sess" in request.fixturenames:
+        request.getfixturevalue("pool_sess").set_fault_plan(None)
+
+
+class TestCrashRecovery:
+    def test_khop_parity_after_crash(self, inproc_sess, pool_sess):
+        sources = [0, 17, 333, 901]
+        ref = inproc_sess.khop(sources, 4)
+        before = pool_sess.pool().recoveries
+        pool_sess.set_fault_plan(FaultPlan().crash_worker(1, 0))
+        res = pool_sess.khop(sources, 4)
+        assert np.array_equal(ref.reached, res.reached)
+        assert ref.virtual_seconds == res.virtual_seconds
+        assert ref.per_step_seconds == res.per_step_seconds
+        assert pool_sess.pool().recoveries == before + 1
+        assert not pool_sess.degraded
+
+    def test_reach_parity_after_crash(self, inproc_sess, pool_sess):
+        sources = [0, 5, 9, 33, 101]
+        targets = [9, 0, 200, 44, 101]
+        ref = inproc_sess.reach(sources, targets, 4)
+        pool_sess.set_fault_plan(FaultPlan().crash_worker(0, 1))
+        res = pool_sess.reach(sources, targets, 4)
+        assert np.array_equal(ref.reachable, res.reachable)
+        assert np.array_equal(ref.hops, res.hops)
+        assert np.array_equal(ref.resolution_seconds, res.resolution_seconds)
+        assert ref.virtual_seconds == res.virtual_seconds
+        assert not pool_sess.degraded
+
+    def test_wide_batch_parity_after_crash(self, graph, inproc_sess, pool_sess):
+        sources = [i % graph.num_vertices for i in range(512)]
+        ref = concurrent_khop_wide(graph, sources, 3, session=inproc_sess)
+        pool_sess.set_fault_plan(FaultPlan().crash_worker(2, 1))
+        res = concurrent_khop_wide(graph, sources, 3, session=pool_sess)
+        assert np.array_equal(ref.reached, res.reached)
+        assert ref.virtual_seconds == res.virtual_seconds
+        assert not pool_sess.degraded
+
+    def test_next_batch_after_recovery_is_clean(self, inproc_sess, pool_sess):
+        # a recovered pool (respawned worker reattached to the same shm
+        # graph image) must serve later fault-free batches unperturbed
+        pool_sess.set_fault_plan(FaultPlan().crash_worker(1, 0))
+        pool_sess.khop([0], 3)
+        pool_sess.set_fault_plan(None)
+        ref = inproc_sess.khop([3, 44, 555], 3)
+        res = pool_sess.khop([3, 44, 555], 3)
+        assert np.array_equal(ref.reached, res.reached)
+        assert ref.per_step_seconds == res.per_step_seconds
+
+
+class TestDelayAndHang:
+    def test_straggler_below_timeout_is_latency_only(
+        self, inproc_sess, pool_sess
+    ):
+        ref = inproc_sess.khop([0, 17], 4)
+        before = pool_sess.pool().recoveries
+        pool_sess.set_fault_plan(FaultPlan().delay_worker(1, 0, seconds=0.05))
+        res = pool_sess.khop([0, 17], 4)
+        assert np.array_equal(ref.reached, res.reached)
+        assert ref.virtual_seconds == res.virtual_seconds
+        # a straggler under step_timeout costs wall time, never a recovery
+        assert pool_sess.pool().recoveries == before
+
+    def test_hang_is_killed_and_recovered(self, graph, inproc_sess):
+        ref = inproc_sess.khop([0, 17], 4)
+        ft = FaultTolerance(max_recoveries=4, step_timeout=0.5)
+        with GraphSession(
+            graph, num_machines=2, backend="pool", fault_tolerance=ft,
+            fault_plan=FaultPlan().delay_worker(1, 0, seconds=30.0),
+        ) as sess:
+            res = sess.khop([0, 17], 4)
+            assert np.array_equal(ref.reached, res.reached)
+            assert ref.virtual_seconds == res.virtual_seconds
+            assert sess.pool().recoveries >= 1
+            assert not sess.degraded
+
+
+class TestMessageFaults:
+    def test_drop_outbox_parity(self, graph, inproc_sess, pool_sess):
+        # a wide batch guarantees cross-machine traffic on early steps
+        sources = [i % graph.num_vertices for i in range(128)]
+        ref = concurrent_khop_wide(graph, sources, 4, session=inproc_sess)
+        pool_sess.set_fault_plan(FaultPlan().drop_outbox(1, 0))
+        res = concurrent_khop_wide(graph, sources, 4, session=pool_sess)
+        assert np.array_equal(ref.reached, res.reached)
+        assert ref.virtual_seconds == res.virtual_seconds
+        assert not pool_sess.degraded
+
+    def test_corrupt_inbox_parity_gas(self, inproc_sess, pool_sess):
+        ref = inproc_sess.pagerank(iterations=8)
+        pool_sess.set_fault_plan(FaultPlan().corrupt_inbox(2, 1))
+        res = pool_sess.pagerank(iterations=8)
+        # float sums replayed in identical order: exact, not allclose
+        assert np.array_equal(ref.values, res.values)
+        assert ref.virtual_seconds == res.virtual_seconds
+        assert not pool_sess.degraded
+
+    def test_combined_faults_one_batch(self, inproc_sess, pool_sess):
+        ref = inproc_sess.khop([0, 17, 333], 5)
+        pool_sess.set_fault_plan(
+            FaultPlan().crash_worker(1, 0).corrupt_inbox(2, 1)
+        )
+        res = pool_sess.khop([0, 17, 333], 5)
+        assert np.array_equal(ref.reached, res.reached)
+        assert ref.virtual_seconds == res.virtual_seconds
+        assert not pool_sess.degraded
+
+
+class TestCheckpointInterval:
+    def test_sparse_checkpoints_rewind_further(self, graph, inproc_sess):
+        # with C=3 a crash at step 4 rewinds to the step-3 checkpoint and
+        # replays two supersteps; the answer must not notice
+        ref = inproc_sess.khop([0, 17, 333], 6)
+        ft = FaultTolerance(checkpoint_interval=3, max_recoveries=4)
+        with GraphSession(
+            graph, num_machines=2, backend="pool", fault_tolerance=ft,
+            fault_plan=FaultPlan().crash_worker(4, 1),
+        ) as sess:
+            res = sess.khop([0, 17, 333], 6)
+            assert np.array_equal(ref.reached, res.reached)
+            assert ref.virtual_seconds == res.virtual_seconds
+            assert ref.per_step_seconds == res.per_step_seconds
+            assert sess.pool().recoveries == 1
+
+
+class TestTelemetry:
+    def test_fault_counters(self, graph):
+        instr = Instrumentation()
+        ft = FaultTolerance(max_recoveries=8, step_timeout=30.0)
+        plan = FaultPlan().crash_worker(1, 0).delay_worker(2, 1, seconds=0.01)
+        with GraphSession(
+            graph, num_machines=2, backend="pool", fault_tolerance=ft,
+            fault_plan=plan, instrumentation=instr,
+        ) as sess:
+            sess.khop([0, 17], 4)
+        m = instr.metrics
+        assert m.get("cgraph_faults_total").value(kind="crash") == 1
+        assert m.get("cgraph_recoveries_total").total == 1
+        # one initial checkpoint + one per completed superstep
+        assert m.get("cgraph_checkpoints_total").total >= 2
+
+
+class TestRecoveryBudget:
+    def test_sticky_crash_exhausts_budget_and_cleans_up(self, graph):
+        others = {p.pid for p in _pool_children()}  # the shared module pool
+        ft = FaultTolerance(max_recoveries=1)
+        plan = FaultPlan().crash_worker(1, 0, sticky=True)
+        sess = GraphSession(
+            graph, num_machines=2, backend="pool", fault_tolerance=ft,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=1, degrade=False),
+        )
+        names = sess.pool().segment_names()
+        with pytest.raises(WorkerLost, match="budget"):
+            sess.khop([0, 17], 4)
+        # the failed attempt must leave nothing behind
+        assert {p.pid for p in _pool_children()} <= others
+        assert _shm_files(names) == []
+        assert sess.pool_failures == 1
+        assert not sess.degraded
+        sess.close()
+
+
+class TestDegradationLadder:
+    def test_sticky_crash_degrades_to_inproc(self, graph, inproc_sess):
+        ref = inproc_sess.khop([0, 17, 333], 4)
+        others = {p.pid for p in _pool_children()}  # the shared module pool
+        ft = FaultTolerance(max_recoveries=0)
+        plan = FaultPlan().crash_worker(1, 0, sticky=True)
+        sess = GraphSession(
+            graph, num_machines=2, backend="pool", fault_tolerance=ft,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.0, degrade=True
+            ),
+        )
+        try:
+            res = sess.khop([0, 17, 333], 4)
+            # both fresh-pool attempts died; the in-process fallback answered
+            assert np.array_equal(ref.reached, res.reached)
+            assert ref.virtual_seconds == res.virtual_seconds
+            assert sess.degraded
+            assert sess.pool_failures == 2
+            assert sess.degraded_batches == 1
+            assert {p.pid for p in _pool_children()} <= others
+
+            # later batches stay degraded (no new pool, no new failures)
+            res2 = sess.khop([3, 44], 3)
+            ref2 = inproc_sess.khop([3, 44], 3)
+            assert np.array_equal(ref2.reached, res2.reached)
+            assert sess.degraded_batches == 2
+            assert sess.pool_failures == 2
+
+            # forgiveness: disarm the fault, reset, and the pool comes back
+            sess.set_fault_plan(None)
+            sess.reset_degradation()
+            res3 = sess.khop([0, 9], 3)
+            ref3 = inproc_sess.khop([0, 9], 3)
+            assert np.array_equal(ref3.reached, res3.reached)
+            assert not sess.degraded
+            assert sess.degraded_batches == 2
+        finally:
+            sess.close()
+
+
+class TestInprocResilient:
+    def test_inproc_crash_and_delay_parity(self, graph, inproc_sess):
+        ref = inproc_sess.khop([0, 17, 333], 4)
+        plan = FaultPlan().crash_worker(1, 0).delay_worker(2, 1, seconds=0.0)
+        sess = GraphSession(graph, num_machines=2, fault_plan=plan)
+        res = sess.khop([0, 17, 333], 4)
+        assert np.array_equal(ref.reached, res.reached)
+        assert ref.virtual_seconds == res.virtual_seconds
+        assert ref.per_step_seconds == res.per_step_seconds
+
+    def test_inproc_resilient_rejects_async(self, graph):
+        sess = GraphSession(
+            graph, num_machines=2, fault_plan=FaultPlan().crash_worker(0, 0)
+        )
+        with pytest.raises(ValueError, match="fault injection requires"):
+            sess.pagerank(iterations=3, asynchronous=True)

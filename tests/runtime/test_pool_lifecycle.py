@@ -64,6 +64,21 @@ class TestShutdown:
         assert _pool_children() == []
         assert _shm_files(names) == []
 
+    def test_close_after_external_worker_death(self, graph):
+        # a worker killed out from under the session (OOM killer, operator
+        # mistake) must not make close() raise or leak the segments
+        sess = GraphSession(graph, num_machines=2, backend="pool")
+        sess.khop([0], 2)
+        pool = sess.pool()
+        names = pool.segment_names()
+        victim = _pool_children()[0]
+        victim.terminate()
+        victim.join(5)
+        sess.close()
+        sess.close()  # idempotent even after an abnormal teardown
+        assert _pool_children() == []
+        assert _shm_files(names) == []
+
     def test_session_usable_after_close(self, graph):
         # close() parks the pool; the next batch restarts it transparently
         sess = GraphSession(graph, num_machines=2, backend="pool")

@@ -1,0 +1,76 @@
+"""The typed error hierarchy: one base, builtin-compatible leaves.
+
+Two contracts matter: everything deliberate derives from ``ReproError``
+(callers can catch the whole framework in one clause), and every concrete
+class still derives the builtin its call site historically raised, so
+pre-existing ``except RuntimeError:`` / ``except ValueError:`` handlers —
+and tests pinning them — keep working across the fault-tolerance refactor.
+"""
+
+import pytest
+
+from repro.errors import (
+    CheckpointError,
+    CorruptMessage,
+    DeadlineExceeded,
+    InvalidQueryError,
+    Overloaded,
+    PoolError,
+    ReproError,
+    WorkerLost,
+    WorkerTaskError,
+)
+
+ALL = [
+    PoolError,
+    WorkerLost,
+    WorkerTaskError,
+    CheckpointError,
+    CorruptMessage,
+    DeadlineExceeded,
+    Overloaded,
+    InvalidQueryError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL)
+def test_every_error_is_a_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(exc, Exception)
+
+
+@pytest.mark.parametrize(
+    "exc, builtin",
+    [
+        (PoolError, RuntimeError),
+        (WorkerLost, RuntimeError),
+        (WorkerTaskError, RuntimeError),
+        (CheckpointError, RuntimeError),
+        (CorruptMessage, RuntimeError),
+        (DeadlineExceeded, TimeoutError),
+        (Overloaded, RuntimeError),
+        (InvalidQueryError, ValueError),
+    ],
+)
+def test_builtin_compatibility(exc, builtin):
+    # legacy handlers written against the builtins must keep catching
+    assert issubclass(exc, builtin)
+    with pytest.raises(builtin):
+        raise exc("x")
+
+
+def test_pool_failures_discriminate_retryability():
+    # WorkerLost (infrastructure, retryable) and WorkerTaskError
+    # (deterministic, never retried) are siblings under PoolError
+    assert issubclass(WorkerLost, PoolError)
+    assert issubclass(WorkerTaskError, PoolError)
+    assert not issubclass(WorkerLost, WorkerTaskError)
+    assert not issubclass(WorkerTaskError, WorkerLost)
+
+
+def test_catching_the_base_catches_everything():
+    for exc in ALL:
+        try:
+            raise exc("boom")
+        except ReproError as caught:
+            assert isinstance(caught, exc)
