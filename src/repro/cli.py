@@ -53,6 +53,7 @@ EXPERIMENTS = {
     "telemetry-overhead": "telemetry_overhead",
     "parallel-scaling": "parallel_scaling",
     "recovery-overhead": "recovery_overhead",
+    "push-pull": "push_pull",
 }
 
 
@@ -79,11 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=3)
     p.add_argument("--edge-sets", action="store_true",
                    help="use the blocked edge-set representation")
+    p.add_argument("--direction", choices=["auto", "push", "pull"],
+                   default="auto",
+                   help="traversal direction (auto = per-partition heuristic)")
 
     p = sub.add_parser("reach", help="pairwise s->t reachability within k hops")
     add_common(p)
     p.add_argument("--pairs", type=int, default=8)
     p.add_argument("--k", type=int, default=4)
+    p.add_argument("--direction", choices=["auto", "push", "pull"],
+                   default="auto",
+                   help="traversal direction (auto = per-partition heuristic)")
 
     p = sub.add_parser("pagerank", help="run GAS PageRank")
     add_common(p)
@@ -249,9 +256,17 @@ def cmd_khop(args, out) -> int:
     roots = random_sources(el, args.queries, seed=args.seed)
     stream = run_query_stream(
         sess.pg, roots, args.k, use_edge_sets=args.edge_sets, session=sess,
+        direction=args.direction,
     )
+    modes = [
+        (r.push_partition_steps, r.pull_partition_steps)
+        for r in stream.batch_results
+    ]
+    pushes, pulls = (sum(m) for m in zip(*modes))
     print(f"{args.queries} concurrent {args.k}-hop queries on {args.dataset} "
-          f"({args.machines} machines, {stream.num_batches} batch(es))", file=out)
+          f"({args.machines} machines, {stream.num_batches} batch(es), "
+          f"direction={args.direction}: {pushes} push / {pulls} pull "
+          f"partition-steps)", file=out)
     for q in range(stream.num_queries):
         print(f"  source {int(stream.sources[q]):8d}: "
               f"{int(stream.reached[q]):8d} reached, "
@@ -270,7 +285,10 @@ def cmd_reach(args, out) -> int:
     rng = np.random.default_rng(args.seed)
     sources = random_sources(el, args.pairs, seed=args.seed)
     targets = rng.integers(0, el.num_vertices, size=args.pairs)
-    res = reachability_queries(sess.pg, sources, targets, args.k, session=sess)
+    res = reachability_queries(
+        sess.pg, sources, targets, args.k, session=sess,
+        direction=args.direction,
+    )
     print(f"{args.pairs} reachability pairs within {args.k} hops on "
           f"{args.dataset}:", file=out)
     for q in range(res.num_queries):

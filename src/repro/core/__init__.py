@@ -20,8 +20,14 @@
 * :mod:`repro.core.cgraph` — the :class:`CGraph` facade.
 """
 
-from repro.core.frontier import BitFrontier, popcount, per_query_counts
-from repro.core.khop import KHopResult, concurrent_khop
+from repro.core.frontier import (
+    BitFrontier,
+    popcount,
+    per_query_counts,
+    MAX_BATCH_WIDTH,
+    MAX_WIDE_BATCH,
+)
+from repro.core.khop import DIRECTIONS, KHopResult, concurrent_khop
 from repro.core.bfs import concurrent_bfs, single_source_bfs
 from repro.core.batch import QueryStreamResult, run_query_stream
 from repro.core.traversal import traverse, khop_query, khop_service_time
@@ -35,7 +41,7 @@ from repro.core.centrality import (
     closeness_centrality,
     harmonic_centrality,
 )
-from repro.core.wide import WideBitFrontier, WideKHopResult, concurrent_khop_wide
+from repro.core.wide import WideKHopResult, concurrent_khop_wide
 from repro.core.ooc import OOCKHopResult, concurrent_khop_out_of_core
 from repro.core.vertex_api import (
     VertexContext,
@@ -52,6 +58,9 @@ __all__ = [
     "BitFrontier",
     "popcount",
     "per_query_counts",
+    "MAX_BATCH_WIDTH",
+    "MAX_WIDE_BATCH",
+    "DIRECTIONS",
     "KHopResult",
     "concurrent_khop",
     "concurrent_bfs",
@@ -76,7 +85,6 @@ __all__ = [
     "CentralityResult",
     "closeness_centrality",
     "harmonic_centrality",
-    "WideBitFrontier",
     "WideKHopResult",
     "concurrent_khop_wide",
     "OOCKHopResult",

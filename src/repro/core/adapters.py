@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.core.gas import GASPartitionTask, VertexProgram
 from repro.core.khop import KHopPartitionTask
-from repro.core.wide import _WideKHopTask
 from repro.runtime.message import MessageBatch, _combine
 
 __all__ = [
@@ -36,9 +35,6 @@ __all__ = [
     "khop_alive",
     "khop_visited_counts",
     "khop_depths",
-    "build_wide",
-    "reset_wide",
-    "wide_visited_counts",
     "reach_probe",
     "mask_frontier",
     "build_gas",
@@ -71,14 +67,22 @@ def task_restore(task, state) -> None:
     task.restore(state)
 
 
-# -- k-hop (word-wide) ------------------------------------------------------ #
+# -- k-hop (any batch width up to one cache line) --------------------------- #
 
 
 def build_khop(
-    machine, cluster, num_queries: int, k: int | None, record_depths: bool = False
+    machine,
+    cluster,
+    num_queries: int,
+    k: int | None,
+    record_depths: bool = False,
+    direction: str = "auto",
+    push_coeff: float = 1.0e-8,
+    pull_coeff: float = 2.5e-9,
 ) -> KHopPartitionTask:
     return KHopPartitionTask(
-        machine, cluster, num_queries, k, record_depths=record_depths
+        machine, cluster, num_queries, k, record_depths=record_depths,
+        direction=direction, push_coeff=push_coeff, pull_coeff=pull_coeff,
     )
 
 
@@ -87,8 +91,14 @@ def reset_khop(
     num_queries: int,
     k: int | None,
     record_depths: bool = False,
+    direction: str = "auto",
+    push_coeff: float = 1.0e-8,
+    pull_coeff: float = 2.5e-9,
 ) -> None:
-    task.reset(num_queries, k, record_depths=record_depths)
+    task.reset(
+        num_queries, k, record_depths=record_depths,
+        direction=direction, push_coeff=push_coeff, pull_coeff=pull_coeff,
+    )
 
 
 def khop_alive(task: KHopPartitionTask) -> int:
@@ -104,21 +114,6 @@ def khop_depths(task: KHopPartitionTask) -> np.ndarray | None:
     return task.depths
 
 
-# -- k-hop (cache-line-wide) ------------------------------------------------ #
-
-
-def build_wide(machine, cluster, num_queries: int, k: int | None) -> _WideKHopTask:
-    return _WideKHopTask(machine, cluster, num_queries, k)
-
-
-def reset_wide(task: _WideKHopTask, num_queries: int, k: int | None) -> None:
-    task.reset(num_queries, k)
-
-
-def wide_visited_counts(task: _WideKHopTask) -> np.ndarray:
-    return task.state.visited_counts()
-
-
 # -- pairwise reachability -------------------------------------------------- #
 
 
@@ -126,15 +121,21 @@ def reach_probe(
     task: KHopPartitionTask, target_locals: list
 ) -> tuple[int, list]:
     """Probe: (alive bits, [(query, visited-bit)] for local targets)."""
-    alive = int(task.state.alive_bits())
+    alive = task.state.alive_bits()
+    # reachability batches are word-wide, so each query lives in word 0
     hits = [
-        (q, int(task.state.visited[local]) >> q & 1) for q, local in target_locals
+        (q, int(task.state.visited[local, 0]) >> q & 1)
+        for q, local in target_locals
     ]
     return alive, hits
 
 
 def mask_frontier(task: KHopPartitionTask, keep: int) -> None:
-    """Control: clear resolved queries' bits from this partition's frontier."""
+    """Control: clear resolved queries' bits from this partition's frontier.
+
+    ``keep`` broadcasts across plane words — exact for the word-wide
+    batches reachability runs.
+    """
     task.state.frontier &= np.uint64(keep)
 
 

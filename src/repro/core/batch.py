@@ -67,6 +67,7 @@ def run_query_stream(
     use_edge_sets: bool = False,
     asynchronous: bool = False,
     session: GraphSession | None = None,
+    direction: str = "auto",
 ) -> QueryStreamResult:
     """Execute a stream of concurrent queries in word-wide batches.
 
@@ -104,6 +105,7 @@ def run_query_stream(
             use_edge_sets=use_edge_sets,
             asynchronous=asynchronous,
             session=sess,
+            direction=direction,
         )
         response[idx] = clock + res.completion_seconds
         reached[idx] = res.reached

@@ -1,7 +1,7 @@
 """MS-BFS-style bit-parallel frontier state (§3.5, Figure 6).
 
-For a batch of up to 64 concurrent queries, each partition keeps three
-machine-word arrays indexed by local vertex:
+For a batch of concurrent queries, each partition keeps three bit-plane
+arrays indexed by local vertex:
 
 * ``frontier`` — bit ``q`` set ⇔ the vertex is in query ``q``'s current
   frontier;
@@ -13,29 +13,51 @@ machine-word arrays indexed by local vertex:
 next frontier, and 1 bit to track if it has been visited" — i.e. exactly
 these three planes.)  One pass over an edge-set serves every query whose
 frontier intersects it: the traversal *shares* the subgraph across queries,
-which is the paper's core optimisation.  The batch width is fixed by a
-hardware parameter (cache-line/word size); widths below 64 are supported for
-the width-ablation bench via the query mask.
+which is the paper's core optimisation.
+
+The batch width is fixed by hardware parameters: one machine word holds 64
+query bits (:data:`MAX_BATCH_WIDTH`), one 64-byte cache line holds 512
+(:data:`MAX_WIDE_BATCH`).  A single :class:`BitFrontier` covers the whole
+range — planes have shape ``(num_local, words)`` with ``words =
+ceil(num_queries / 64)`` — so the word-wide k-hop engine, the cache-line-wide
+batches and the pairwise-reachability engine all share one implementation,
+one checkpoint format and one set of pool adapters.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["BitFrontier", "popcount", "per_query_counts"]
+__all__ = [
+    "BitFrontier",
+    "popcount",
+    "per_query_counts",
+    "MAX_BATCH_WIDTH",
+    "MAX_WIDE_BATCH",
+]
 
 _WORD = np.uint64
+_WORD_BITS = 64
+#: 64 query bits — one machine word, the default batch width.
 MAX_BATCH_WIDTH = 64
+#: 512 query bits — one 64-byte cache line of query slots (§3.5).
+MAX_WIDE_BATCH = 512
 
 
 def popcount(x: np.ndarray) -> np.ndarray:
-    """Per-element set-bit count of a uint64 array (SWAR algorithm)."""
-    x = x.astype(np.uint64, copy=True)
+    """Per-element set-bit count of a uint64 array (SWAR algorithm).
+
+    The input is never mutated: uint64 input is used as-is (no defensive
+    copy on the hot path) and the first SWAR step allocates the scratch
+    array; other dtypes are converted once.
+    """
+    if x.dtype != _WORD:
+        x = x.astype(_WORD)
     m1 = np.uint64(0x5555555555555555)
     m2 = np.uint64(0x3333333333333333)
     m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
     h01 = np.uint64(0x0101010101010101)
-    x -= (x >> np.uint64(1)) & m1
+    x = x - ((x >> np.uint64(1)) & m1)
     x = (x & m2) + ((x >> np.uint64(2)) & m2)
     x = (x + (x >> np.uint64(4))) & m4
     return ((x * h01) >> np.uint64(56)).astype(np.int64)
@@ -44,33 +66,58 @@ def popcount(x: np.ndarray) -> np.ndarray:
 def per_query_counts(bits: np.ndarray, num_queries: int) -> np.ndarray:
     """How many array elements have bit ``q`` set, for each query ``q``.
 
-    ``O(num_queries)`` vectorised passes; used for result accounting, not in
-    the traversal hot path.
+    ``bits`` is a 1-D word array (one word per vertex) or a 2-D
+    ``(vertices, words)`` plane; query ``q`` lives in word ``q // 64``,
+    bit ``q % 64``.  One vectorised ``np.unpackbits`` pass expands every
+    word to its bit columns and a single column sum produces all counts —
+    no per-query Python loop.
     """
-    counts = np.empty(num_queries, dtype=np.int64)
-    one = np.uint64(1)
-    for q in range(num_queries):
-        counts[q] = int(((bits >> np.uint64(q)) & one).sum())
-    return counts
+    arr = np.asarray(bits, dtype=_WORD)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    n, words = arr.shape
+    if num_queries > words * _WORD_BITS:
+        raise ValueError(
+            f"{num_queries} queries do not fit in {words} word(s)"
+        )
+    if n == 0:
+        return np.zeros(num_queries, dtype=np.int64)
+    # explicit little-endian view keeps byte order platform-stable
+    expanded = np.unpackbits(
+        arr.astype("<u8", copy=False).view(np.uint8).reshape(n, words * 8),
+        axis=1,
+        bitorder="little",
+    )[:, :num_queries]
+    return expanded.sum(axis=0, dtype=np.int64)
 
 
 class BitFrontier:
-    """Per-partition frontier/next/visited bit planes for one query batch."""
+    """Per-partition frontier/next/visited bit planes for one query batch.
+
+    Planes are ``(num_local, words)`` uint64 arrays; a word-wide batch is
+    simply the ``words == 1`` case.  The class is the single frontier
+    abstraction behind every traversal kernel: seeding, scatter-OR updates,
+    end-of-level rotation, density accounting for the push/pull direction
+    heuristic, and checkpoint/restore for the fault-tolerant pool.
+    """
 
     def __init__(self, num_local: int, num_queries: int):
-        if not 1 <= num_queries <= MAX_BATCH_WIDTH:
+        if not 1 <= num_queries <= MAX_WIDE_BATCH:
             raise ValueError(
-                f"batch width must be in [1, {MAX_BATCH_WIDTH}], got {num_queries}"
+                f"batch width must be in [1, {MAX_WIDE_BATCH}], got {num_queries}"
             )
         self.num_local = int(num_local)
         self.num_queries = int(num_queries)
-        if num_queries == MAX_BATCH_WIDTH:
-            self.query_mask = np.uint64(0xFFFFFFFFFFFFFFFF)
-        else:
-            self.query_mask = np.uint64((1 << num_queries) - 1)
-        self.frontier = np.zeros(self.num_local, dtype=_WORD)
-        self.next = np.zeros(self.num_local, dtype=_WORD)
-        self.visited = np.zeros(self.num_local, dtype=_WORD)
+        self.words = (num_queries + _WORD_BITS - 1) // _WORD_BITS
+        self.query_mask = np.zeros(self.words, dtype=_WORD)
+        full, rem = divmod(num_queries, _WORD_BITS)
+        self.query_mask[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        if rem:
+            self.query_mask[full] = np.uint64((1 << rem) - 1)
+        shape = (self.num_local, self.words)
+        self.frontier = np.zeros(shape, dtype=_WORD)
+        self.next = np.zeros(shape, dtype=_WORD)
+        self.visited = np.zeros(shape, dtype=_WORD)
 
     def clear(self) -> None:
         """Zero all three planes in place (batch reuse without reallocation)."""
@@ -102,23 +149,40 @@ class BitFrontier:
         """Place ``query_index``'s source at ``local_vertex`` (level 0)."""
         if not 0 <= query_index < self.num_queries:
             raise ValueError("query index out of batch")
-        bit = np.uint64(1 << query_index)
-        self.frontier[local_vertex] |= bit
-        self.visited[local_vertex] |= bit
+        w, b = divmod(query_index, _WORD_BITS)
+        bit = np.uint64(1 << b)
+        self.frontier[local_vertex, w] |= bit
+        self.visited[local_vertex, w] |= bit
 
     def active_vertices(self) -> np.ndarray:
-        """Local indices whose current frontier word is non-zero."""
-        return np.nonzero(self.frontier)[0]
+        """Local indices with any frontier bit set (sparse active list)."""
+        if self.words == 1:
+            return np.nonzero(self.frontier[:, 0])[0]
+        return np.nonzero(self.frontier.any(axis=1))[0]
 
     def or_into_next(self, local_vertices: np.ndarray, bits: np.ndarray) -> None:
-        """Scatter-OR query bits into ``next`` (duplicate targets allowed)."""
+        """Scatter-OR query bit rows into ``next`` (duplicate targets allowed).
+
+        ``bits`` is ``(m, words)``; a 1-D word array is accepted for
+        word-wide batches.
+        """
+        bits = np.asarray(bits, dtype=_WORD)
+        if bits.ndim == 1:
+            bits = bits[:, None]
         np.bitwise_or.at(self.next, local_vertices, bits)
 
-    def alive_bits(self) -> np.uint64:
-        """OR over the current frontier: which queries still have frontier here."""
+    def alive_bits(self) -> int:
+        """OR over the current frontier: which queries still have frontier
+        here, folded into one arbitrary-precision Python int (bit ``q`` set
+        ⇔ query ``q`` alive).  Python ints cross process boundaries and OR
+        across partitions without any word-count bookkeeping."""
         if self.frontier.size == 0:
-            return np.uint64(0)
-        return np.bitwise_or.reduce(self.frontier)
+            return 0
+        words = np.bitwise_or.reduce(self.frontier, axis=0)
+        alive = 0
+        for w in range(self.words):
+            alive |= int(words[w]) << (w * _WORD_BITS)
+        return alive
 
     def promote(self) -> np.ndarray:
         """End-of-level rotation; returns the newly visited plane.
@@ -135,6 +199,20 @@ class BitFrontier:
         self.frontier, self.next = newly, self.frontier
         self.next.fill(0)
         return newly
+
+    # -- density accounting (push/pull direction heuristic) ----------------- #
+
+    def active_count(self) -> int:
+        """Number of local vertices with any frontier bit set."""
+        return int(self.active_vertices().size)
+
+    def density(self) -> float:
+        """Fraction of local vertices currently in any query's frontier."""
+        if self.num_local == 0:
+            return 0.0
+        return self.active_count() / self.num_local
+
+    # -- accounting --------------------------------------------------------- #
 
     def visited_counts(self) -> np.ndarray:
         """Visited vertices per query in this partition."""

@@ -1,11 +1,29 @@
 """The concurrent k-hop reachability query engine (the paper's core operator).
 
-A batch of up to 64 queries traverses the partitioned graph together, level
-by level.  Each superstep every machine expands its local frontier over its
-out-edge shard (optionally edge-set by edge-set for cache locality), OR-ing
-query bit-masks into local ``next`` planes and shipping boundary-vertex
-updates as combined message batches (Figure 5).  A query finishes when its
-frontier dies everywhere or after ``k`` hops.
+A batch of queries traverses the partitioned graph together, level by level.
+Each superstep every machine expands its local frontier over its out-edge
+shard, OR-ing query bit-masks into local ``next`` planes and shipping
+boundary-vertex updates as combined message batches (Figure 5).  A query
+finishes when its frontier dies everywhere or after ``k`` hops.
+
+Expansion is *direction-optimizing* (GPOP-style), chosen per partition per
+superstep:
+
+* **push** (sparse): gather the active frontier's out-edges from CSR
+  (optionally edge-set by edge-set for cache locality) and scatter-OR into
+  the ``next`` plane;
+* **pull** (dense): sweep the partition's local in-edges in source-range
+  tiles — a sequential gather of frontier words plus one segmented OR per
+  tile (:class:`~repro.graph.partition.PullIndex`) — while remote-bound
+  edges are routed push-style over a remote-only CSR so outgoing messages
+  are byte-identical to push mode.
+
+The heuristic (:func:`repro.runtime.netmodel.choose_direction`) compares the
+frontier's out-edge mass against the partition's local edge count using the
+cost model's per-mode coefficients.  Both modes charge the *same* canonical
+(push-equivalent) work to :class:`~repro.runtime.netmodel.StepStats`, so
+answers, messages and virtual clocks are bit-identical across ``push``,
+``pull`` and ``auto`` — the direction changes wall-clock only.
 
 The public entry point is :func:`concurrent_khop`; the
 :class:`KHopPartitionTask` plugs into the generic
@@ -24,10 +42,19 @@ from repro.graph.partition import PartitionedGraph
 from repro.runtime.cluster import SimCluster
 from repro.runtime.engine import PartitionTask
 from repro.runtime.message import MessageBatch, combine_or
-from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.netmodel import NetworkModel, StepStats, choose_direction
 from repro.runtime.session import GraphSession
 
-__all__ = ["KHopResult", "KHopPartitionTask", "concurrent_khop"]
+__all__ = ["KHopResult", "KHopPartitionTask", "concurrent_khop", "DIRECTIONS"]
+
+#: Valid traversal-direction settings for the k-hop/reachability engines.
+DIRECTIONS = ("auto", "push", "pull")
+
+
+def _check_direction(direction: str) -> str:
+    if direction not in DIRECTIONS:
+        raise ValueError(f"direction must be one of {DIRECTIONS}, got {direction!r}")
+    return direction
 
 
 @dataclass
@@ -58,6 +85,11 @@ class KHopResult:
     #: carry partial ``reached`` counts (graceful degradation).
     resolved: np.ndarray | None = field(default=None, repr=False)
     truncated: bool = False
+    #: Partition-steps executed in each traversal direction (summed over
+    #: machines and supersteps) — how often the direction optimizer pushed
+    #: vs. pulled.
+    push_partition_steps: int = 0
+    pull_partition_steps: int = 0
 
     @property
     def num_queries(self) -> int:
@@ -75,6 +107,9 @@ class KHopPartitionTask(PartitionTask):
         k: int | None,
         use_edge_sets: bool = False,
         record_depths: bool = False,
+        direction: str = "auto",
+        push_coeff: float = 1.0e-8,
+        pull_coeff: float = 2.5e-9,
     ):
         super().__init__(machine)
         self.cluster = cluster
@@ -87,6 +122,12 @@ class KHopPartitionTask(PartitionTask):
             raise ValueError(
                 "use_edge_sets requires PartitionedGraph.build_edge_sets() first"
             )
+        self.direction = _check_direction(direction)
+        # Coefficients travel with the task (not read off a cluster-side
+        # model) so pool workers — which hold no NetworkModel — make the
+        # exact same per-superstep choice as the in-process engine.
+        self.push_coeff = float(push_coeff)
+        self.pull_coeff = float(pull_coeff)
         self.depths = (
             np.full((machine.num_local, num_queries), -1, dtype=np.int16)
             if record_depths
@@ -98,7 +139,13 @@ class KHopPartitionTask(PartitionTask):
         self.state.seed(local_vertex, query_index)
 
     def reset(
-        self, num_queries: int, k: int | None, record_depths: bool = False
+        self,
+        num_queries: int,
+        k: int | None,
+        record_depths: bool = False,
+        direction: str = "auto",
+        push_coeff: float = 1.0e-8,
+        pull_coeff: float = 2.5e-9,
     ) -> None:
         """Re-arm this task for a new batch, reusing allocated planes.
 
@@ -108,6 +155,9 @@ class KHopPartitionTask(PartitionTask):
         """
         self.k = k
         self.level = 0
+        self.direction = _check_direction(direction)
+        self.push_coeff = float(push_coeff)
+        self.pull_coeff = float(pull_coeff)
         if self.state.num_queries == num_queries:
             self.state.clear()
         else:
@@ -144,11 +194,32 @@ class KHopPartitionTask(PartitionTask):
         active = self.state.active_vertices()
         if active.size == 0:
             return
+        if self._choose_mode(active) == "pull":
+            stats.pull_partitions += 1
+            self._expand_pull(active, stats)
+            return
+        stats.push_partitions += 1
         bits = self.state.frontier[active]
         if self.use_edge_sets:
             self._expand_edge_sets(active, bits, stats)
         else:
             self._expand_csr(active, bits, stats)
+
+    def _choose_mode(self, active: np.ndarray) -> str:
+        """Per-superstep direction decision for this partition.
+
+        Deterministic in (frontier state, coefficients): replaying from a
+        checkpoint reproduces the same frontier, hence the same choices.
+        """
+        if self.use_edge_sets or self.direction == "push":
+            return "push"
+        pidx = self.machine.partition.pull_index()
+        if self.direction == "pull":
+            return "pull"
+        frontier_edges = int(pidx.out_degree[active].sum())
+        return choose_direction(
+            frontier_edges, pidx.num_local_edges, self.push_coeff, self.pull_coeff
+        )
 
     def apply_inbox(self, stats: StepStats) -> None:
         for batches in self.machine.inbox.take_all().values():
@@ -160,11 +231,15 @@ class KHopPartitionTask(PartitionTask):
     def finalize(self) -> bool:
         newly = self.state.promote()
         if self.depths is not None and newly.any():
-            rows = np.nonzero(newly)[0]
-            # one vectorised unpack of all 64 query bits per touched vertex
+            rows = np.nonzero(newly.any(axis=1))[0]
+            # one vectorised unpack of all query bits per touched vertex
             # (explicit little-endian view keeps byte order platform-stable)
+            words = self.state.words
             bits = np.unpackbits(
-                newly[rows].astype("<u8").view(np.uint8).reshape(rows.size, 8),
+                newly[rows]
+                .astype("<u8", copy=False)
+                .view(np.uint8)
+                .reshape(rows.size, 8 * words),
                 axis=1,
                 bitorder="little",
             )[:, : self.state.num_queries]
@@ -180,7 +255,36 @@ class KHopPartitionTask(PartitionTask):
         csr = self.machine.partition.out_csr
         pos, counts = csr.gather_edges(active)
         targets = csr.indices[pos]
-        self._route(targets, np.repeat(bits, counts), stats)
+        self._route(targets, np.repeat(bits, counts, axis=0), stats)
+
+    def _expand_pull(self, active: np.ndarray, stats) -> None:
+        """Dense sweep: tiled gather over local in-edges + remote push pass.
+
+        The local pass reads *every* local in-edge — inactive sources hold
+        zero frontier words, and OR-ing zeros is a no-op, so the resulting
+        ``next`` plane equals push's exactly.  The remote pass routes the
+        active frontier's remote-destination edges over a CSR whose per-row
+        order matches ``out_csr``, emitting byte-identical message batches.
+        Stats are charged push-equivalently, keeping virtual clocks
+        direction-independent.
+        """
+        pidx = self.machine.partition.pull_index()
+        frontier = self.state.frontier
+        nxt = self.state.next
+        for block in pidx.blocks:
+            ored = np.bitwise_or.reduceat(
+                frontier[block.sources], block.starts, axis=0
+            )
+            nxt[block.rows] |= ored
+        remote = pidx.remote_csr
+        pos, counts = remote.gather_edges(active)
+        if pos.size:
+            targets = remote.indices[pos]
+            bits = frontier[active]
+            self._send_remote(targets, np.repeat(bits, counts, axis=0))
+        # canonical (push-equivalent) accounting -> identical virtual clock
+        stats.edges_scanned += int(pidx.out_degree[active].sum())
+        stats.vertices_updated += int(pidx.local_out_degree[active].sum())
 
     def _expand_edge_sets(self, active: np.ndarray, bits: np.ndarray, stats) -> None:
         """Left-to-right scan over edge-set blocks (§3.2).
@@ -200,7 +304,7 @@ class KHopPartitionTask(PartitionTask):
             if pos.size == 0:
                 continue
             targets = block.csr.indices[pos]
-            self._route(targets, np.repeat(frontier[rows], counts), stats)
+            self._route(targets, np.repeat(frontier[rows], counts, axis=0), stats)
 
     def _route(self, targets: np.ndarray, ebits: np.ndarray, stats) -> None:
         """Split expanded edges into local OR-updates and remote batches."""
@@ -213,21 +317,23 @@ class KHopPartitionTask(PartitionTask):
             stats.vertices_updated += int(tl.size)
         remote_mask = ~local_mask
         if remote_mask.any():
-            rt = targets[remote_mask]
-            rb = ebits[remote_mask]
-            owners = self.cluster.owner_of(rt)
-            order = np.argsort(owners, kind="stable")
-            owners_sorted = owners[order]
-            starts = np.concatenate(
-                [[0], np.nonzero(owners_sorted[1:] != owners_sorted[:-1])[0] + 1,
-                 [owners_sorted.size]]
-            )
-            for a, b in zip(starts[:-1], starts[1:]):
-                if a == b:
-                    continue
-                dest = int(owners_sorted[a])
-                sel = order[a:b]
-                self.machine.outbox.append(dest, MessageBatch(rt[sel], rb[sel]))
+            self._send_remote(targets[remote_mask], ebits[remote_mask])
+
+    def _send_remote(self, rt: np.ndarray, rb: np.ndarray) -> None:
+        """Group remote-destination edges by owner into outbox batches."""
+        owners = self.cluster.owner_of(rt)
+        order = np.argsort(owners, kind="stable")
+        owners_sorted = owners[order]
+        starts = np.concatenate(
+            [[0], np.nonzero(owners_sorted[1:] != owners_sorted[:-1])[0] + 1,
+             [owners_sorted.size]]
+        )
+        for a, b in zip(starts[:-1], starts[1:]):
+            if a == b:
+                continue
+            dest = int(owners_sorted[a])
+            sel = order[a:b]
+            self.machine.outbox.append(dest, MessageBatch(rt[sel], rb[sel]))
 
 
 def concurrent_khop(
@@ -243,6 +349,7 @@ def concurrent_khop(
     parallel_compute: bool = False,
     session: GraphSession | None = None,
     max_virtual_seconds: float | None = None,
+    direction: str = "auto",
 ) -> KHopResult:
     """Run up to 64 k-hop queries concurrently with bit-parallel sharing.
 
@@ -277,10 +384,20 @@ def concurrent_khop(
         flagging unfinished queries False in ``resolved`` (their ``reached``
         counts are the partial answer so far).  Identical truncation point
         on both backends.
+    direction:
+        Traversal direction: ``"auto"`` (default) lets each partition pick
+        push or pull per superstep via the cost model's per-mode
+        coefficients; ``"push"``/``"pull"`` force a mode.  All three produce
+        bit-identical answers and virtual clocks — the setting changes
+        wall-clock and the ``push/pull_partition_steps`` counters only.
+        ``use_edge_sets`` implies the push kernel.
 
     Returns a :class:`KHopResult`; virtual time comes from the cluster's
     network model and counted work.
     """
+    _check_direction(direction)
+    if use_edge_sets and direction == "pull":
+        raise ValueError("use_edge_sets uses the push kernel; direction='pull' conflicts")
     sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     pg = sess.pg
     cluster = sess.cluster
@@ -318,7 +435,12 @@ def concurrent_khop(
         from repro.core import adapters
 
         task_kwargs = dict(
-            num_queries=num_queries, k=k, record_depths=record_depths
+            num_queries=num_queries,
+            k=k,
+            record_depths=record_depths,
+            direction=direction,
+            push_coeff=sess.netmodel.seconds_per_edge_push,
+            pull_coeff=sess.netmodel.seconds_per_edge_pull,
         )
 
         def on_pool_step(step_index: int, stats, now: float, probes) -> None:
@@ -346,21 +468,29 @@ def concurrent_khop(
             sess.gather_batch(adapters.khop_depths) if record_depths else None
         )
     else:
+        push_coeff = sess.netmodel.seconds_per_edge_push
+        pull_coeff = sess.netmodel.seconds_per_edge_pull
         tasks = sess.tasks_for(
             ("khop", use_edge_sets),
             lambda m: KHopPartitionTask(
                 m, cluster, num_queries, k,
                 use_edge_sets=use_edge_sets, record_depths=record_depths,
+                direction=direction,
+                push_coeff=push_coeff, pull_coeff=pull_coeff,
             ),
-            lambda t: t.reset(num_queries, k, record_depths=record_depths),
+            lambda t: t.reset(
+                num_queries, k, record_depths=record_depths,
+                direction=direction,
+                push_coeff=push_coeff, pull_coeff=pull_coeff,
+            ),
         )
         sess.seed_sources(tasks, sources)
 
         def on_step(step_index: int, stats, now: float) -> None:
-            alive = np.uint64(0)
+            alive = 0
             for t in tasks:
                 alive |= t.state.alive_bits()
-            note_level(step_index, now, int(alive))
+            note_level(step_index, now, alive)
 
         result = sess.run_batch(
             tasks,
@@ -413,4 +543,6 @@ def concurrent_khop(
         depths=depths,
         resolved=resolved,
         truncated=result.truncated,
+        push_partition_steps=total.push_partitions,
+        pull_partition_steps=total.pull_partitions,
     )

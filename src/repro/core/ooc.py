@@ -62,7 +62,7 @@ class _OOCKHopTask(KHopPartitionTask):
             if pos.size == 0:
                 continue
             targets = block.csr.indices[pos]
-            self._route(targets, np.repeat(frontier[rows], counts), stats)
+            self._route(targets, np.repeat(frontier[rows], counts, axis=0), stats)
 
 
 @dataclass

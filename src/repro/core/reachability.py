@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.frontier import MAX_BATCH_WIDTH
-from repro.core.khop import KHopPartitionTask
+from repro.core.khop import KHopPartitionTask, _check_direction
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import PartitionedGraph
 from repro.runtime.message import combine_or
@@ -69,6 +69,7 @@ def reachability_queries(
     use_edge_sets: bool = False,
     session: GraphSession | None = None,
     max_virtual_seconds: float | None = None,
+    direction: str = "auto",
 ) -> ReachabilityResult:
     """Answer up to 64 ``source -> target`` within-``k``-hops queries at once.
 
@@ -78,8 +79,13 @@ def reachability_queries(
     ``max_virtual_seconds`` deadlines the batch's virtual clock: the run
     stops at the first barrier past it, flagging still-open queries False
     in ``resolved`` (graceful degradation — both backends truncate at the
-    identical superstep).
+    identical superstep).  ``direction`` selects the traversal mode exactly
+    as in :func:`concurrent_khop` (answers and virtual clocks are
+    direction-independent).
     """
+    _check_direction(direction)
+    if use_edge_sets and direction == "pull":
+        raise ValueError("use_edge_sets uses the push kernel; direction='pull' conflicts")
     sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     pg = sess.pg
     cluster = sess.cluster
@@ -128,7 +134,11 @@ def reachability_queries(
             raise ValueError("use_edge_sets requires backend='inproc'")
         from repro.core import adapters
 
-        task_kwargs = dict(num_queries=num_queries, k=k)
+        task_kwargs = dict(
+            num_queries=num_queries, k=k, direction=direction,
+            push_coeff=sess.netmodel.seconds_per_edge_push,
+            pull_coeff=sess.netmodel.seconds_per_edge_pull,
+        )
         probe_args = [[] for _ in range(sess.num_machines)]
         for q in range(num_queries):
             probe_args[int(target_machine[q])].append(
@@ -163,12 +173,19 @@ def reachability_queries(
             max_virtual_seconds=max_virtual_seconds,
         )
     else:
+        push_coeff = sess.netmodel.seconds_per_edge_push
+        pull_coeff = sess.netmodel.seconds_per_edge_pull
         tasks = sess.tasks_for(
             ("reach", use_edge_sets),
             lambda m: KHopPartitionTask(
-                m, cluster, num_queries, k, use_edge_sets=use_edge_sets
+                m, cluster, num_queries, k, use_edge_sets=use_edge_sets,
+                direction=direction,
+                push_coeff=push_coeff, pull_coeff=pull_coeff,
             ),
-            lambda t: t.reset(num_queries, k),
+            lambda t: t.reset(
+                num_queries, k, direction=direction,
+                push_coeff=push_coeff, pull_coeff=pull_coeff,
+            ),
         )
         sess.seed_sources(tasks, sources)
 
@@ -179,11 +196,12 @@ def reachability_queries(
                 if resolved_mask >> q & 1:
                     continue
                 t_task = tasks[int(target_machine[q])]
-                word = int(t_task.state.visited[int(target_local[q])])
+                # word-wide batch: query q's bit lives in plane word 0
+                word = int(t_task.state.visited[int(target_local[q]), 0])
                 hit_bits |= (word >> q & 1) << q
             alive = 0
             for t in tasks:
-                alive |= int(t.state.alive_bits())
+                alive |= t.state.alive_bits()
             mask = settle(level, now, alive, hit_bits)
             # early termination: drop resolved queries from every frontier
             if mask:

@@ -35,13 +35,14 @@ def traverse(
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
     session=None,
+    direction: str = "auto",
 ) -> KHopResult:
     """Listing 2's ``Traverse``: visit the ≤ ``hops`` neighbourhood of ``source``.
 
     ``visit(level, vertices)`` is called for each level 1..L with the global
     ids newly reached at that level (level 0 is the source itself and is not
     reported).  Returns the underlying :class:`KHopResult` with depths
-    recorded.
+    recorded.  ``direction`` selects the traversal mode (push/pull/auto).
     """
     res = concurrent_khop(
         graph,
@@ -51,6 +52,7 @@ def traverse(
         netmodel=netmodel,
         record_depths=True,
         session=session,
+        direction=direction,
     )
     if visit is not None:
         depths = res.depths[:, 0]
@@ -129,6 +131,7 @@ def khop_service_time(
     netmodel: NetworkModel | None = None,
     use_edge_sets: bool = False,
     session=None,
+    direction: str = "auto",
 ) -> tuple[float, int]:
     """(virtual seconds, vertices reached) of one standalone k-hop query.
 
@@ -137,6 +140,6 @@ def khop_service_time(
     """
     res = concurrent_khop(
         graph, [source], k, netmodel=netmodel, use_edge_sets=use_edge_sets,
-        session=session,
+        session=session, direction=direction,
     )
     return float(res.virtual_seconds), int(res.reached[0])

@@ -3,10 +3,12 @@
 "A fixed number of concurrent queries are decided based on hardware
 parameters, for example, the length of the cache line."  A 64-byte cache
 line holds **512** query bits, so the hardware-sized batch is eight machine
-words, not one.  This module generalises the bit-parallel engine to
-multi-word batches: frontier/next/visited become ``(num_local, words)``
-``uint64`` planes, message payloads become 2-D, and one pass over an edge
-serves up to 512 queries.
+words, not one.  The unified :class:`~repro.core.frontier.BitFrontier`
+carries any width up to :data:`MAX_WIDE_BATCH` — frontier/next/visited are
+``(num_local, words)`` planes, message payloads are 2-D — so the wide path
+is the *same* :class:`~repro.core.khop.KHopPartitionTask` (including its
+push/pull direction optimizer, checkpointing and pool adapters) run at a
+larger batch width.
 
 :func:`concurrent_khop_wide` mirrors :func:`repro.core.khop.concurrent_khop`
 with ``1 <= len(sources) <= 512``; the width ablation bench compares a
@@ -19,181 +21,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.frontier import MAX_WIDE_BATCH
+from repro.core.khop import KHopPartitionTask, _check_direction
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import PartitionedGraph
-from repro.runtime.cluster import SimCluster
-from repro.runtime.engine import PartitionTask
-from repro.runtime.message import MessageBatch, combine_or
-from repro.runtime.netmodel import NetworkModel, StepStats
+from repro.runtime.message import combine_or
+from repro.runtime.netmodel import NetworkModel
 from repro.runtime.session import GraphSession
 
-__all__ = ["WideBitFrontier", "WideKHopResult", "concurrent_khop_wide",
-           "MAX_WIDE_BATCH"]
+__all__ = ["WideKHopResult", "concurrent_khop_wide", "MAX_WIDE_BATCH"]
 
 _WORD_BITS = 64
-#: 512 bits — one 64-byte cache line of query slots.
-MAX_WIDE_BATCH = 512
-
-
-class WideBitFrontier:
-    """Multi-word frontier planes: shape ``(num_local, words)`` uint64."""
-
-    def __init__(self, num_local: int, num_queries: int):
-        if not 1 <= num_queries <= MAX_WIDE_BATCH:
-            raise ValueError(
-                f"batch width must be in [1, {MAX_WIDE_BATCH}], got {num_queries}"
-            )
-        self.num_local = int(num_local)
-        self.num_queries = int(num_queries)
-        self.words = (num_queries + _WORD_BITS - 1) // _WORD_BITS
-        self.query_mask = np.zeros(self.words, dtype=np.uint64)
-        full, rem = divmod(num_queries, _WORD_BITS)
-        self.query_mask[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
-        if rem:
-            self.query_mask[full] = np.uint64((1 << rem) - 1)
-        shape = (self.num_local, self.words)
-        self.frontier = np.zeros(shape, dtype=np.uint64)
-        self.next = np.zeros(shape, dtype=np.uint64)
-        self.visited = np.zeros(shape, dtype=np.uint64)
-
-    def seed(self, local_vertex: int, query_index: int) -> None:
-        """Place query ``query_index``'s source at ``local_vertex``."""
-        if not 0 <= query_index < self.num_queries:
-            raise ValueError("query index out of batch")
-        w, b = divmod(query_index, _WORD_BITS)
-        bit = np.uint64(1 << b)
-        self.frontier[local_vertex, w] |= bit
-        self.visited[local_vertex, w] |= bit
-
-    def active_vertices(self) -> np.ndarray:
-        """Local vertices whose frontier has any bit set in any word."""
-        return np.nonzero(self.frontier.any(axis=1))[0]
-
-    def or_into_next(self, local_vertices: np.ndarray, bits: np.ndarray) -> None:
-        """Scatter-OR 2-D bit rows into ``next`` (duplicates allowed)."""
-        np.bitwise_or.at(self.next, local_vertices, bits)
-
-    def alive_bits(self) -> np.ndarray:
-        """Per-word OR over the frontier: queries still alive here."""
-        if self.frontier.size == 0:
-            return np.zeros(self.words, dtype=np.uint64)
-        return np.bitwise_or.reduce(self.frontier, axis=0)
-
-    def promote(self) -> np.ndarray:
-        """End-of-level rotation (see :meth:`BitFrontier.promote`)."""
-        np.bitwise_and(self.next, ~self.visited, out=self.next)
-        np.bitwise_and(self.next, self.query_mask, out=self.next)
-        newly = self.next
-        self.visited |= newly
-        self.frontier, self.next = newly, self.frontier
-        self.next.fill(0)
-        return newly
-
-    def snapshot(self) -> tuple:
-        """Deep copies of the three planes (checkpoint/replay support).
-
-        As in :meth:`BitFrontier.snapshot`, the always-zero-at-barrier
-        ``next`` plane is elided from the snapshot.
-        """
-        nxt = self.next.copy() if self.next.any() else None
-        return self.frontier.copy(), nxt, self.visited.copy()
-
-    def load(self, snap: tuple) -> None:
-        """Restore planes from :meth:`snapshot`, in place."""
-        frontier, nxt, visited = snap
-        self.frontier[...] = frontier
-        if nxt is None:
-            self.next.fill(0)
-        else:
-            self.next[...] = nxt
-        self.visited[...] = visited
-
-    def visited_counts(self) -> np.ndarray:
-        """Visited vertices per query in this partition."""
-        counts = np.empty(self.num_queries, dtype=np.int64)
-        one = np.uint64(1)
-        for q in range(self.num_queries):
-            w, b = divmod(q, _WORD_BITS)
-            counts[q] = int(((self.visited[:, w] >> np.uint64(b)) & one).sum())
-        return counts
-
-    def nbytes(self) -> int:
-        return int(self.frontier.nbytes + self.next.nbytes + self.visited.nbytes)
-
-
-class _WideKHopTask(PartitionTask):
-    """Multi-word variant of :class:`~repro.core.khop.KHopPartitionTask`."""
-
-    def __init__(self, machine, cluster: SimCluster, num_queries: int,
-                 k: int | None):
-        super().__init__(machine)
-        self.cluster = cluster
-        self.k = k
-        self.level = 0
-        self.state = WideBitFrontier(machine.num_local, num_queries)
-
-    def seed(self, local_vertex: int, query_index: int) -> None:
-        self.state.seed(local_vertex, query_index)
-
-    def reset(self, num_queries: int, k: int | None) -> None:
-        """Re-arm for a new batch (session task-cache reuse)."""
-        self.k = k
-        self.level = 0
-        if self.state.num_queries == num_queries:
-            self.state.frontier.fill(0)
-            self.state.next.fill(0)
-            self.state.visited.fill(0)
-        else:
-            self.state = WideBitFrontier(self.machine.num_local, num_queries)
-
-    def checkpoint(self) -> dict:
-        return {"level": self.level, "planes": self.state.snapshot()}
-
-    def restore(self, state: dict) -> None:
-        self.level = state["level"]
-        self.state.load(state["planes"])
-
-    def compute(self, stats: StepStats) -> None:
-        if self.k is not None and self.level >= self.k:
-            return
-        active = self.state.active_vertices()
-        if active.size == 0:
-            return
-        bits = self.state.frontier[active]  # (a, words)
-        csr = self.machine.partition.out_csr
-        pos, counts = csr.gather_edges(active)
-        targets = csr.indices[pos]
-        ebits = np.repeat(bits, counts, axis=0)
-        stats.edges_scanned += int(targets.size)
-        lo, hi = self.machine.lo, self.machine.hi
-        local_mask = (targets >= lo) & (targets < hi)
-        if local_mask.any():
-            tl = targets[local_mask] - lo
-            self.state.or_into_next(tl, ebits[local_mask])
-            stats.vertices_updated += int(tl.size)
-        remote = ~local_mask
-        if remote.any():
-            rt = targets[remote]
-            rb = ebits[remote]
-            owners = self.cluster.owner_of(rt)
-            for dest in np.unique(owners):
-                sel = owners == dest
-                self.machine.outbox.append(
-                    int(dest), MessageBatch(rt[sel], rb[sel])
-                )
-
-    def apply_inbox(self, stats: StepStats) -> None:
-        for batches in self.machine.inbox.take_all().values():
-            for batch in batches:
-                local = batch.vertices - self.machine.lo
-                self.state.or_into_next(local, batch.payload)
-                stats.vertices_updated += batch.num_tasks
-
-    def finalize(self) -> bool:
-        self.state.promote()
-        self.level += 1
-        budget_left = self.k is None or self.level < self.k
-        return bool(budget_left and self.state.frontier.any())
 
 
 @dataclass
@@ -207,6 +45,8 @@ class WideKHopResult:
     supersteps: int
     total_edges_scanned: int
     words: int
+    push_partition_steps: int = 0
+    pull_partition_steps: int = 0
 
     @property
     def num_queries(self) -> int:
@@ -220,41 +60,55 @@ def concurrent_khop_wide(
     num_machines: int = 1,
     netmodel: NetworkModel | None = None,
     session: GraphSession | None = None,
+    direction: str = "auto",
 ) -> WideKHopResult:
     """Run up to 512 k-hop queries in one multi-word bit-parallel batch.
 
     On a ``backend="pool"`` session the batch executes on the persistent
     worker pool with bit-identical answers; the 2-D payload planes ride in
-    per-worker shared-memory outboxes.
+    per-worker shared-memory outboxes.  ``direction`` selects the traversal
+    mode exactly as in :func:`~repro.core.khop.concurrent_khop`.
     """
+    _check_direction(direction)
     sess = GraphSession.for_run(graph, num_machines, netmodel, session)
     cluster = sess.cluster
     sources = sess.check_sources(sources, MAX_WIDE_BATCH)
     num_queries = int(sources.size)
     words = (num_queries + _WORD_BITS - 1) // _WORD_BITS
 
+    push_coeff = sess.netmodel.seconds_per_edge_push
+    pull_coeff = sess.netmodel.seconds_per_edge_pull
     sess.prepare()
     if sess.uses_pool:
         from repro.core import adapters
 
-        task_kwargs = dict(num_queries=num_queries, k=k)
+        task_kwargs = dict(
+            num_queries=num_queries, k=k, direction=direction,
+            push_coeff=push_coeff, pull_coeff=pull_coeff,
+        )
         result = sess.run_batch_pool(
             ("wide",),
-            adapters.build_wide, task_kwargs,
-            adapters.reset_wide, task_kwargs,
+            adapters.build_khop, task_kwargs,
+            adapters.reset_khop, task_kwargs,
             payload_width=adapters.WORD_PAYLOAD_WIDTH * words,
             seeds=sess.seeds_by_machine(sources),
             combiner=combine_or,
             max_supersteps=k,
         )
         reached = np.zeros(num_queries, dtype=np.int64)
-        for counts in sess.gather_batch(adapters.wide_visited_counts):
+        for counts in sess.gather_batch(adapters.khop_visited_counts):
             reached += counts
     else:
         tasks = sess.tasks_for(
             ("wide",),
-            lambda m: _WideKHopTask(m, cluster, num_queries, k),
-            lambda t: t.reset(num_queries, k),
+            lambda m: KHopPartitionTask(
+                m, cluster, num_queries, k, direction=direction,
+                push_coeff=push_coeff, pull_coeff=pull_coeff,
+            ),
+            lambda t: t.reset(
+                num_queries, k, direction=direction,
+                push_coeff=push_coeff, pull_coeff=pull_coeff,
+            ),
         )
         sess.seed_sources(tasks, sources)
 
@@ -273,4 +127,6 @@ def concurrent_khop_wide(
         supersteps=result.supersteps,
         total_edges_scanned=total.edges_scanned,
         words=words,
+        push_partition_steps=total.push_partitions,
+        pull_partition_steps=total.pull_partitions,
     )

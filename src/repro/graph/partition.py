@@ -27,7 +27,14 @@ from repro.graph.csr import CSR, build_csr
 from repro.graph.edgelist import EdgeList
 from repro.graph.edgeset import EdgeSetMatrix, degree_balanced_ranges
 
-__all__ = ["Partition", "PartitionedGraph", "range_partition", "owner_of_bounds"]
+__all__ = [
+    "Partition",
+    "PartitionedGraph",
+    "PullBlock",
+    "PullIndex",
+    "range_partition",
+    "owner_of_bounds",
+]
 
 
 def owner_of_bounds(bounds: np.ndarray, v) -> np.ndarray | int:
@@ -37,6 +44,71 @@ def owner_of_bounds(bounds: np.ndarray, v) -> np.ndarray | int:
     view) in hand — no :class:`PartitionedGraph` exists worker-side.
     """
     return np.searchsorted(bounds, np.asarray(v), side="right") - 1
+
+
+@dataclass
+class PullBlock:
+    """One source-range tile of a partition's local pull structure.
+
+    Dense (pull-mode) traversal gathers frontier words from *sources* and
+    reduces them onto target rows.  Tiling by source range keeps each
+    tile's frontier reads inside a cache-resident window — the same LLC
+    blocking idea the paper applies to edge-sets (§3.2), turned sideways
+    for the gather direction.
+
+    Edges are grouped by target row inside the tile: ``sources[starts[i]:
+    starts[i+1]]`` are the local in-neighbours of target ``rows[i]``; the
+    kernel reduces each run with one ``np.bitwise_or.reduceat`` call.
+    Empty target rows are excluded, so the runs tile ``[0, len(sources))``
+    exactly.
+    """
+
+    src_lo: int
+    src_hi: int
+    rows: np.ndarray = field(repr=False)
+    starts: np.ndarray = field(repr=False)
+    sources: np.ndarray = field(repr=False)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.sources.size)
+
+    def nbytes(self) -> int:
+        return int(self.rows.nbytes + self.starts.nbytes + self.sources.nbytes)
+
+
+@dataclass
+class PullIndex:
+    """Derived per-partition structures for dense (pull-mode) traversal.
+
+    Built once from ``out_csr``/``in_csc`` and cached on the partition
+    (deterministically, so pool workers rebuilding it after a restart get
+    the same structure):
+
+    * ``blocks`` — source-range tiles of the *local* in-edges (see
+      :class:`PullBlock`);
+    * ``remote_csr`` — the subset of ``out_csr`` whose destinations are
+      remote, with per-row column order preserved, so pull mode emits the
+      exact same outgoing message batches as push mode;
+    * ``out_degree`` / ``local_out_degree`` — per-local-row totals used for
+      canonical (push-equivalent) cost accounting and for the direction
+      heuristic's frontier-edge mass.
+    """
+
+    blocks: list[PullBlock] = field(repr=False)
+    remote_csr: CSR = field(repr=False)
+    out_degree: np.ndarray = field(repr=False)
+    local_out_degree: np.ndarray = field(repr=False)
+
+    @property
+    def num_local_edges(self) -> int:
+        return int(sum(b.num_edges for b in self.blocks))
+
+    def nbytes(self) -> int:
+        total = self.remote_csr.nbytes()
+        total += int(self.out_degree.nbytes + self.local_out_degree.nbytes)
+        total += sum(b.nbytes() for b in self.blocks)
+        return int(total)
 
 
 @dataclass
@@ -57,6 +129,8 @@ class Partition:
     edge_sets:
         Blocked form of ``out_csr`` (built lazily by
         :meth:`PartitionedGraph.build_edge_sets`).
+    pull_cache:
+        Lazily built :class:`PullIndex` (see :meth:`pull_index`).
     """
 
     part_id: int
@@ -65,6 +139,7 @@ class Partition:
     out_csr: CSR = field(repr=False)
     in_csc: CSR = field(repr=False)
     edge_sets: EdgeSetMatrix | None = field(default=None, repr=False)
+    pull_cache: PullIndex | None = field(default=None, repr=False)
 
     @property
     def num_local(self) -> int:
@@ -95,10 +170,23 @@ class Partition:
         remote_in = rows_in[(rows_in < self.lo) | (rows_in >= self.hi)]
         return np.unique(np.concatenate([remote_out, remote_in]))
 
+    def pull_index(self, num_blocks: int = 8) -> PullIndex:
+        """The partition's dense-traversal structures, built on first use.
+
+        The build is a pure function of the partition's edges, so every
+        process (in-process engine, pool workers, a worker restarted after
+        a fault) derives an identical index.
+        """
+        if self.pull_cache is None:
+            self.pull_cache = _build_pull_index(self, num_blocks)
+        return self.pull_cache
+
     def nbytes(self) -> int:
         total = self.out_csr.nbytes() + self.in_csc.nbytes()
         if self.edge_sets is not None:
             total += self.edge_sets.nbytes()
+        if self.pull_cache is not None:
+            total += self.pull_cache.nbytes()
         return total
 
 
@@ -236,3 +324,55 @@ def _csr_to_edges(csr: CSR) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
     deg = csr.degrees()
     src = np.repeat(np.arange(csr.num_rows, dtype=np.int64), deg)
     return src, csr.indices.astype(np.int64), csr.weights
+
+
+def _build_pull_index(part: Partition, num_blocks: int) -> PullIndex:
+    n = part.num_local
+
+    # Local in-edges, row-major by target (in_csc order), sources made local.
+    in_deg = part.in_csc.degrees()
+    targets = np.repeat(np.arange(n, dtype=np.int64), in_deg)
+    srcs = part.in_csc.indices.astype(np.int64)
+    local_mask = (srcs >= part.lo) & (srcs < part.hi)
+    targets = targets[local_mask]
+    local_src = srcs[local_mask] - part.lo
+
+    # Tile by source range, balancing edges per tile so each gather window
+    # touches a similar amount of frontier data.
+    if local_src.size:
+        per_src = np.bincount(local_src, minlength=n)
+    else:
+        per_src = np.zeros(n, dtype=np.int64)
+    bounds = degree_balanced_ranges(per_src, num_blocks)
+    blocks: list[PullBlock] = []
+    for b in range(bounds.size - 1):
+        blo, bhi = int(bounds[b]), int(bounds[b + 1])
+        sel = (local_src >= blo) & (local_src < bhi)
+        t = targets[sel]
+        if t.size == 0:
+            continue
+        # Selection preserves target-major order, so each target's edges
+        # stay contiguous; run starts come from consecutive differences.
+        run_starts = np.concatenate(
+            [[0], np.nonzero(np.diff(t))[0] + 1]
+        ).astype(np.int64)
+        blocks.append(PullBlock(blo, bhi, t[run_starts], run_starts, local_src[sel]))
+
+    # Remote-destination subset of out_csr.  build_csr's counting sort with
+    # column sorting reproduces out_csr's per-row (ascending) column order,
+    # so routing over this CSR emits byte-identical message batches to push.
+    out_deg = part.out_csr.degrees().astype(np.int64)
+    cols = part.out_csr.indices.astype(np.int64)
+    rows_rep = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+    remote_mask = (cols < part.lo) | (cols >= part.hi)
+    remote_csr = build_csr(rows_rep[remote_mask], cols[remote_mask], n)
+    if remote_mask.any():
+        remote_deg = np.bincount(rows_rep[remote_mask], minlength=n)
+    else:
+        remote_deg = np.zeros(n, dtype=np.int64)
+    return PullIndex(
+        blocks=blocks,
+        remote_csr=remote_csr,
+        out_degree=out_deg,
+        local_out_degree=out_deg - remote_deg,
+    )

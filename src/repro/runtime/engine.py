@@ -151,6 +151,8 @@ class EngineResult:
                 "vertices_updated": sum(s.vertices_updated for s in stats),
                 "messages": sum(s.total_messages for s in stats),
                 "bytes": sum(s.total_bytes for s in stats),
+                "push_partitions": sum(s.push_partitions for s in stats),
+                "pull_partitions": sum(s.pull_partitions for s in stats),
             }
             if netmodel is not None:
                 row["max_compute_s"] = max(

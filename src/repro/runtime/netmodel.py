@@ -30,12 +30,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StepStats", "NetworkModel", "VirtualClock"]
+__all__ = ["StepStats", "NetworkModel", "VirtualClock", "choose_direction"]
 
 
 @dataclass
 class StepStats:
-    """Work counted on one machine during one superstep."""
+    """Work counted on one machine during one superstep.
+
+    ``push_partitions``/``pull_partitions`` count how many partition-steps
+    executed in each traversal direction.  They are *observability* counters:
+    the cost terms above are kept canonical (push-equivalent) in both modes,
+    so the virtual clock is direction-independent by construction — the
+    direction choice changes wall-clock only.
+    """
 
     edges_scanned: int = 0
     vertices_updated: int = 0
@@ -43,6 +50,8 @@ class StepStats:
     messages_sent: dict[int, int] = field(default_factory=dict)
     disk_bytes_read: int = 0
     disk_reads: int = 0
+    push_partitions: int = 0
+    pull_partitions: int = 0
 
     def record_send(self, dest: int, nbytes: int, num_tasks: int) -> None:
         """Accumulate one outgoing batch toward ``dest``."""
@@ -62,12 +71,18 @@ class StepStats:
     def total_messages(self) -> int:
         return sum(self.messages_sent.values())
 
+    @property
+    def partition_steps(self) -> int:
+        return self.push_partitions + self.pull_partitions
+
     def merge(self, other: "StepStats") -> None:
         """Fold another machine-step's counts into this one (for totals)."""
         self.edges_scanned += other.edges_scanned
         self.vertices_updated += other.vertices_updated
         self.disk_bytes_read += other.disk_bytes_read
         self.disk_reads += other.disk_reads
+        self.push_partitions += other.push_partitions
+        self.pull_partitions += other.pull_partitions
         for d, b in other.bytes_sent.items():
             self.bytes_sent[d] = self.bytes_sent.get(d, 0) + b
         for d, m in other.messages_sent.items():
@@ -86,6 +101,15 @@ class NetworkModel:
 
     seconds_per_edge: float = 1.0e-8
     seconds_per_vertex: float = 2.0e-8
+    # Per-direction edge coefficients for the push/pull decision (wall-clock
+    # heuristic only; the virtual clock always charges ``seconds_per_edge``).
+    # A pushed edge pays a random scatter into the next-frontier plane; a
+    # pulled edge is a sequential gather + segmented OR, roughly 4x cheaper
+    # per edge on the calibrated testbed — but pull must touch *every* local
+    # edge, so it only wins once the frontier covers ~a quarter of the
+    # partition's edge mass.
+    seconds_per_edge_push: float = 1.0e-8
+    seconds_per_edge_pull: float = 2.5e-9
     latency_seconds: float = 50e-6
     bandwidth_bytes_per_second: float = 1.25e9
     barrier_seconds: float = 150e-6
@@ -147,6 +171,41 @@ class NetworkModel:
         from dataclasses import replace
 
         return replace(self, async_overlap=enabled)
+
+    def choose_direction(self, frontier_edges: int, local_edges: int) -> str:
+        """Pick ``"push"`` or ``"pull"`` for one partition-superstep."""
+        return choose_direction(
+            frontier_edges,
+            local_edges,
+            self.seconds_per_edge_push,
+            self.seconds_per_edge_pull,
+        )
+
+
+def choose_direction(
+    frontier_edges: int,
+    local_edges: int,
+    push_coeff: float = 1.0e-8,
+    pull_coeff: float = 2.5e-9,
+) -> str:
+    """Direction-optimizing heuristic for one partition-superstep.
+
+    ``frontier_edges`` is the out-edge mass of the active frontier (what
+    push would scan); ``local_edges`` is the partition's local in-edge count
+    (what pull must always scan).  Pull wins when scanning everything with
+    the cheap sequential kernel beats scattering the frontier's edges:
+    ``pull_coeff * local_edges < push_coeff * frontier_edges``.
+
+    The decision is a pure function of its arguments, so both backends —
+    and a checkpoint/rewind replay — reproduce identical choices.
+    """
+    if frontier_edges <= 0:
+        return "push"
+    return (
+        "pull"
+        if pull_coeff * local_edges < push_coeff * frontier_edges
+        else "push"
+    )
 
 
 class VirtualClock:

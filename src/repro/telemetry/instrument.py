@@ -67,6 +67,11 @@ class Instrumentation:
         self._supersteps = m.counter(
             "cgraph_supersteps_total", "supersteps executed"
         )
+        self._direction = m.counter(
+            "cgraph_direction_partitions_total",
+            "partition-steps executed per traversal direction",
+            ("mode", "machine"),
+        )
         self._phase_seconds = m.counter(
             "cgraph_phase_seconds_total",
             "virtual seconds spent per phase per machine",
@@ -163,6 +168,8 @@ class Instrumentation:
             edges_scanned=sum(s.edges_scanned for s in per_machine),
             messages=sum(s.total_messages for s in per_machine),
             bytes=sum(s.total_bytes for s in per_machine),
+            push_partitions=sum(s.push_partitions for s in per_machine),
+            pull_partitions=sum(s.pull_partitions for s in per_machine),
         ).span_id
         comm_base = virt_start if netmodel.async_overlap else (
             virt_start + max(computes, default=0.0)
@@ -173,6 +180,10 @@ class Instrumentation:
                 extra = {}
                 if wall_compute is not None:
                     extra["wall_ms"] = round(wall_compute[i] * 1e3, 3)
+                if s.pull_partitions:
+                    extra["direction"] = "pull"
+                elif s.push_partitions:
+                    extra["direction"] = "push"
                 tr.record(
                     f"compute p{i}",
                     cat="compute",
@@ -199,6 +210,10 @@ class Instrumentation:
             self._bytes.inc(s.total_bytes, machine=label)
             self._edges.inc(s.edges_scanned, machine=label)
             self._vertices.inc(s.vertices_updated, machine=label)
+            if s.push_partitions:
+                self._direction.inc(s.push_partitions, mode="push", machine=label)
+            if s.pull_partitions:
+                self._direction.inc(s.pull_partitions, mode="pull", machine=label)
             self._phase_seconds.inc(computes[i], phase="compute", machine=label)
             self._phase_seconds.inc(comms[i], phase="comm", machine=label)
         self._supersteps.inc()

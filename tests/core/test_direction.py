@@ -1,0 +1,172 @@
+"""Direction optimization must be invisible in every answer.
+
+Push expands the frontier over the out-CSR; pull drains the dense
+supersteps over the cache-blocked local in-edge tiles; auto switches
+per partition per superstep on the density heuristic.  All three are
+required to be *bit-identical* — reach counts, per-vertex depths,
+completion levels, per-step virtual times and the total virtual clock —
+on the in-process engine and on the worker pool, with and without an
+injected mid-drain crash.  Wall-clock is the only thing a direction
+choice may change.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.khop import DIRECTIONS, concurrent_khop
+from repro.core.reachability import reachability_queries
+from repro.graph import EdgeList, range_partition, rmat_edges
+from repro.runtime.fault import FaultPlan, FaultTolerance
+from repro.runtime.session import GraphSession
+
+
+def _assert_same(res, ref):
+    assert np.array_equal(res.reached, ref.reached)
+    assert np.array_equal(res.completion_level, ref.completion_level)
+    assert np.array_equal(res.completion_seconds, ref.completion_seconds)
+    assert res.virtual_seconds == ref.virtual_seconds
+    assert res.per_step_seconds == ref.per_step_seconds
+    if ref.depths is not None:
+        assert np.array_equal(res.depths, ref.depths)
+
+
+class TestInProcessParity:
+    def test_directions_bit_identical(self, small_rmat):
+        sources = list(range(0, 80, 2))
+        runs = {
+            d: concurrent_khop(
+                small_rmat, sources, 3, num_machines=3,
+                record_depths=True, direction=d,
+            )
+            for d in DIRECTIONS
+        }
+        ref = runs["push"]
+        for res in runs.values():
+            _assert_same(res, ref)
+        assert runs["push"].pull_partition_steps == 0
+        assert runs["pull"].push_partition_steps == 0
+        assert runs["pull"].pull_partition_steps > 0
+
+    def test_full_bfs_auto_switches(self, medium_rmat):
+        sources = list(range(64))
+        auto = concurrent_khop(
+            medium_rmat, sources, None, num_machines=2, direction="auto"
+        )
+        push = concurrent_khop(
+            medium_rmat, sources, None, num_machines=2, direction="push"
+        )
+        _assert_same(auto, push)
+        # a 64-query full BFS on an R-MAT graph goes dense mid-traversal
+        assert auto.pull_partition_steps > 0
+        assert auto.push_partition_steps > 0
+
+    def test_reachability_directions_agree(self, medium_rmat):
+        sources = list(range(0, 32))
+        targets = list(range(500, 532))
+        runs = {
+            d: reachability_queries(
+                medium_rmat, sources, targets, 6, num_machines=2, direction=d
+            )
+            for d in DIRECTIONS
+        }
+        ref = runs["push"]
+        for res in runs.values():
+            assert np.array_equal(res.reachable, ref.reachable)
+            assert res.virtual_seconds == ref.virtual_seconds
+
+    def test_invalid_direction_rejected(self, small_rmat):
+        with pytest.raises(ValueError):
+            concurrent_khop(small_rmat, [0], 2, direction="sideways")
+
+    def test_edge_sets_conflict_with_pull(self, small_rmat):
+        pg = range_partition(small_rmat, 2)
+        pg.build_edge_sets()
+        with pytest.raises(ValueError):
+            concurrent_khop(pg, [0, 1], 2, use_edge_sets=True, direction="pull")
+        # edge-set expansion has no pull kernel: auto must quietly stay push
+        res = concurrent_khop(pg, [0, 1], 2, use_edge_sets=True, direction="auto")
+        assert res.pull_partition_steps == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=1, max_size=60,
+        ),
+        num_sources=st.integers(1, 16),
+        k=st.integers(1, 4),
+        machines=st.integers(1, 3),
+    )
+    def test_property_parity(self, pairs, num_sources, k, machines):
+        el = EdgeList.from_pairs(pairs, num_vertices=16)
+        sources = [i % 16 for i in range(num_sources)]
+        runs = [
+            concurrent_khop(
+                el, sources, k, num_machines=machines,
+                record_depths=True, direction=d,
+            )
+            for d in DIRECTIONS
+        ]
+        for res in runs[1:]:
+            _assert_same(res, runs[0])
+
+
+@pytest.fixture(scope="module")
+def dir_graph():
+    return rmat_edges(10, 12000, seed=23).remove_self_loops().deduplicate()
+
+
+@pytest.fixture(scope="module")
+def dir_inproc(dir_graph):
+    return GraphSession(dir_graph, num_machines=2)
+
+
+@pytest.fixture(scope="module")
+def dir_pool(dir_graph):
+    ft = FaultTolerance(max_recoveries=16, step_timeout=30.0)
+    with GraphSession(
+        dir_graph, num_machines=2, backend="pool", fault_tolerance=ft
+    ) as sess:
+        yield sess
+
+
+@pytest.fixture(autouse=True)
+def _disarm(request):
+    yield
+    if "dir_pool" in request.fixturenames:
+        request.getfixturevalue("dir_pool").set_fault_plan(None)
+
+
+class TestPoolParity:
+    def test_pool_matches_inproc_all_directions(
+        self, dir_graph, dir_inproc, dir_pool
+    ):
+        sources = list(range(48))
+        ref = concurrent_khop(
+            dir_graph, sources, 4, session=dir_inproc, direction="push"
+        )
+        for d in DIRECTIONS:
+            res = concurrent_khop(
+                dir_graph, sources, 4, session=dir_pool, direction=d
+            )
+            _assert_same(res, ref)
+
+    def test_pull_survives_mid_drain_crash(self, dir_graph, dir_inproc, dir_pool):
+        """Rewind-replay must reproduce the same per-superstep direction
+        choices: a recovered drain stays bit-identical to the fault-free
+        reference in every mode."""
+        sources = list(range(48))
+        for d in ("pull", "auto"):
+            ref = concurrent_khop(
+                dir_graph, sources, 4, session=dir_inproc, direction=d
+            )
+            before = dir_pool.pool().recoveries
+            dir_pool.set_fault_plan(FaultPlan().crash_worker(1, 1))
+            res = concurrent_khop(
+                dir_graph, sources, 4, session=dir_pool, direction=d
+            )
+            _assert_same(res, ref)
+            assert dir_pool.pool().recoveries == before + 1
+            assert not dir_pool.degraded

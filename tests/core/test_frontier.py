@@ -23,6 +23,15 @@ class TestPopcount:
         arr = np.array([v], dtype=np.uint64)
         assert popcount(arr)[0] == v.bit_count()
 
+    def test_does_not_mutate_input(self):
+        x = np.array([0xDEADBEEF, 7], dtype=np.uint64)
+        before = x.copy()
+        popcount(x)
+        assert np.array_equal(x, before)
+
+    def test_accepts_non_uint64_input(self):
+        assert popcount(np.array([3, 255], dtype=np.int64)).tolist() == [2, 8]
+
 
 class TestPerQueryCounts:
     def test_counts_columns(self):
@@ -34,14 +43,40 @@ class TestPerQueryCounts:
         bits = np.zeros(4, dtype=np.uint64)
         assert per_query_counts(bits, 3).tolist() == [0, 0, 0]
 
+    def test_two_dimensional_planes(self):
+        # 2 vertices x 2 words: query 0 set on both rows, query 64 on row 1
+        bits = np.array([[1, 0], [1, 1]], dtype=np.uint64)
+        counts = per_query_counts(bits, 65)
+        assert counts[0] == 2
+        assert counts[64] == 1
+        assert counts[1:64].sum() == 0
+
+    def test_empty_partition(self):
+        bits = np.zeros((0, 2), dtype=np.uint64)
+        assert per_query_counts(bits, 100).tolist() == [0] * 100
+
+    def test_matches_loop_reference(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2**63, size=(16, 3), dtype=np.uint64)
+        num_queries = 150
+        mask = np.uint64((1 << (num_queries - 128)) - 1)
+        bits[:, 2] &= mask  # trim the partial word like promote() does
+        counts = per_query_counts(bits, num_queries)
+        for q in (0, 1, 63, 64, 127, 128, 149):
+            w, b = divmod(q, 64)
+            expected = sum(int(row[w]) >> b & 1 for row in bits)
+            assert counts[q] == expected
+
 
 class TestBitFrontier:
     def test_width_bounds(self):
         with pytest.raises(ValueError):
             BitFrontier(4, 0)
         with pytest.raises(ValueError):
-            BitFrontier(4, 65)
-        BitFrontier(4, 64)  # max width OK
+            BitFrontier(4, 513)
+        BitFrontier(4, 64)  # single-word max
+        BitFrontier(4, 65)  # spills into a second word
+        BitFrontier(4, 512)  # widest supported batch
 
     def test_seed_sets_frontier_and_visited(self):
         f = BitFrontier(4, 2)
@@ -130,3 +165,71 @@ class TestBitFrontier:
         f.or_into_next(np.array([2, 3]), np.array([0b10, 0b10], dtype=np.uint64))
         newly = f.promote()
         assert (newly & before).max() == 0
+
+
+class TestMultiWordBitFrontier:
+    """Batches wider than 64 queries span multiple words per vertex."""
+
+    def test_word_count(self):
+        assert BitFrontier(4, 64).words == 1
+        assert BitFrontier(4, 65).words == 2
+        assert BitFrontier(4, 128).words == 2
+        assert BitFrontier(4, 129).words == 3
+        assert BitFrontier(4, 512).words == 8
+
+    def test_seed_lands_in_right_word(self):
+        f = BitFrontier(4, 130)
+        f.seed(1, 0)
+        f.seed(1, 64)
+        f.seed(2, 129)
+        assert f.frontier[1, 0] == np.uint64(1)
+        assert f.frontier[1, 1] == np.uint64(1)
+        assert f.frontier[2, 2] == np.uint64(1 << 1)
+        assert sorted(f.active_vertices().tolist()) == [1, 2]
+
+    def test_seed_out_of_batch_rejected(self):
+        f = BitFrontier(4, 70)
+        with pytest.raises(ValueError):
+            f.seed(0, 70)
+
+    def test_query_mask_trims_partial_word(self):
+        f = BitFrontier(2, 70)  # word 1 has only 6 valid bits
+        ones = np.full((1, 2), 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        f.or_into_next(np.array([0]), ones)
+        newly = f.promote()
+        assert newly[0, 0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert newly[0, 1] == np.uint64(0b111111)
+
+    def test_promote_masks_visited_per_word(self):
+        f = BitFrontier(2, 128)
+        f.seed(0, 0)
+        f.seed(0, 64)
+        bits = np.array([[0b11, 0b01]], dtype=np.uint64)
+        f.or_into_next(np.array([0]), bits)
+        newly = f.promote()
+        # query 0 (word 0) and query 64 (word 1) already visited at vertex 0
+        assert newly[0, 0] == np.uint64(0b10)
+        assert newly[0, 1] == np.uint64(0)
+
+    def test_alive_bits_across_words(self):
+        f = BitFrontier(4, 130)
+        f.seed(0, 5)
+        f.seed(3, 129)
+        alive = f.alive_bits()
+        assert isinstance(alive, int)
+        assert alive == (1 << 5) | (1 << 129)
+
+    def test_visited_counts_multi_word(self):
+        f = BitFrontier(4, 100)
+        f.seed(0, 0)
+        f.seed(1, 0)
+        f.seed(2, 99)
+        counts = f.visited_counts()
+        assert counts.shape == (100,)
+        assert counts[0] == 2
+        assert counts[99] == 1
+        assert counts.sum() == 3
+
+    def test_nbytes(self):
+        f = BitFrontier(10, 512)  # 8 words x 3 planes x 10 vertices
+        assert f.nbytes() == 3 * 10 * 8 * 8

@@ -1,84 +1,21 @@
-"""Tests for cache-line-wide (multi-word) query batches."""
+"""Tests for cache-line-wide (multi-word) query batches.
 
-import numpy as np
+The plane mechanics of multi-word batches live on the unified
+:class:`~repro.core.frontier.BitFrontier` and are covered in
+``tests/core/test_frontier.py``; here we exercise the wide *driver* —
+:func:`concurrent_khop_wide` — against the single-word engine and the
+chunked query stream.
+"""
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.batch import run_query_stream
+from repro.core.frontier import MAX_WIDE_BATCH
 from repro.core.khop import concurrent_khop
-from repro.core.wide import MAX_WIDE_BATCH, WideBitFrontier, concurrent_khop_wide
+from repro.core.wide import concurrent_khop_wide
 from repro.graph import EdgeList, range_partition
-
-
-class TestWideBitFrontier:
-    def test_word_count(self):
-        assert WideBitFrontier(4, 64).words == 1
-        assert WideBitFrontier(4, 65).words == 2
-        assert WideBitFrontier(4, 512).words == 8
-
-    def test_width_bounds(self):
-        with pytest.raises(ValueError):
-            WideBitFrontier(4, 0)
-        with pytest.raises(ValueError):
-            WideBitFrontier(4, MAX_WIDE_BATCH + 1)
-
-    def test_seed_lands_in_right_word(self):
-        f = WideBitFrontier(4, 200)
-        f.seed(1, 0)
-        f.seed(1, 64)
-        f.seed(2, 199)
-        assert f.frontier[1, 0] == 1
-        assert f.frontier[1, 1] == 1
-        assert f.frontier[2, 3] == np.uint64(1 << (199 - 192))
-
-    def test_seed_out_of_batch(self):
-        f = WideBitFrontier(4, 100)
-        with pytest.raises(ValueError):
-            f.seed(0, 100)
-
-    def test_query_mask_trims_partial_word(self):
-        f = WideBitFrontier(2, 70)  # words=2, second word has 6 valid bits
-        f.or_into_next(
-            np.array([0]),
-            np.array([[0, 0xFFFFFFFFFFFFFFFF]], dtype=np.uint64),
-        )
-        newly = f.promote()
-        assert newly[0, 1] == np.uint64((1 << 6) - 1)
-
-    def test_promote_masks_visited_per_word(self):
-        f = WideBitFrontier(2, 128)
-        f.seed(0, 0)
-        f.seed(0, 127)
-        f.or_into_next(
-            np.array([0, 1]),
-            np.array([[1, 1 << 63], [1, 1 << 63]], dtype=np.uint64),
-        )
-        newly = f.promote()
-        assert (newly[0] == 0).all()  # both already visited at vertex 0
-        assert newly[1, 0] == 1 and newly[1, 1] == np.uint64(1 << 63)
-
-    def test_alive_bits_across_words(self):
-        f = WideBitFrontier(4, 130)
-        f.seed(0, 5)
-        f.seed(3, 129)
-        alive = f.alive_bits()
-        assert alive[0] == np.uint64(1 << 5)
-        assert alive[2] == np.uint64(1 << 1)
-
-    def test_visited_counts(self):
-        f = WideBitFrontier(4, 70)
-        f.seed(0, 0)
-        f.seed(1, 0)
-        f.seed(2, 69)
-        counts = f.visited_counts()
-        assert counts[0] == 2
-        assert counts[69] == 1
-        assert counts[1:69].sum() == 0
-
-    def test_nbytes(self):
-        f = WideBitFrontier(10, 512)
-        assert f.nbytes() == 3 * 10 * 8 * 8
 
 
 class TestConcurrentKHopWide:
@@ -116,11 +53,27 @@ class TestConcurrentKHopWide:
         with pytest.raises(ValueError):
             concurrent_khop_wide(small_rmat, [], k=1)
         with pytest.raises(ValueError):
-            concurrent_khop_wide(small_rmat, list(range(513)), k=1)
+            concurrent_khop_wide(
+                small_rmat, list(range(MAX_WIDE_BATCH + 1)), k=1
+            )
 
     def test_source_range(self, small_rmat):
         with pytest.raises(ValueError):
             concurrent_khop_wide(small_rmat, [99999], k=1)
+
+    def test_directions_agree(self, small_rmat):
+        sources = list(range(100))
+        results = {
+            d: concurrent_khop_wide(
+                small_rmat, sources, k=3, num_machines=2, direction=d
+            )
+            for d in ("push", "pull", "auto")
+        }
+        ref = results["push"]
+        for res in results.values():
+            assert (res.reached == ref.reached).all()
+            assert res.virtual_seconds == ref.virtual_seconds
+        assert results["pull"].pull_partition_steps > 0
 
     @settings(max_examples=15, deadline=None)
     @given(

@@ -168,3 +168,33 @@ class TestSuperstepEngine:
         assert len(result.per_step_stats) == result.supersteps
         # one send per delivery: 2 * rounds - 1 with rounds=2
         assert result.total_stats().edges_scanned == 3
+
+
+class TestStepTable:
+    def test_rows_align_with_supersteps(self, small_rmat):
+        from repro.core.khop import KHopPartitionTask
+        from repro.runtime.netmodel import NetworkModel
+
+        pg = range_partition(small_rmat, 3)
+        cluster = SimCluster(pg)
+        tasks = [KHopPartitionTask(m, cluster, 1, 3) for m in cluster.machines]
+        home = cluster.machine_of(0)
+        tasks[home.machine_id].state.seed(0 - home.lo, 0)
+        result = SuperstepEngine(cluster, tasks).run(max_supersteps=3)
+        rows = result.step_table(NetworkModel())
+        assert len(rows) == result.supersteps
+        assert all(r["seconds"] >= 0 for r in rows)
+        assert "max_compute_s" in rows[0]
+        total_edges = sum(r["edges_scanned"] for r in rows)
+        assert total_edges == result.total_stats().edges_scanned
+        # direction accounting: every active partition-step ran some mode
+        total_modes = sum(r["push_partitions"] + r["pull_partitions"] for r in rows)
+        assert total_modes > 0
+
+    def test_without_netmodel(self, small_rmat):
+        from repro.core.pagerank import pagerank
+
+        run = pagerank(small_rmat, iterations=3, num_machines=2)
+        rows = run.engine_result.step_table()
+        assert len(rows) == 3
+        assert "max_compute_s" not in rows[0]

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
+from repro.runtime.netmodel import (
+    NetworkModel,
+    StepStats,
+    VirtualClock,
+    choose_direction,
+)
 
 
 class TestStepStats:
@@ -29,24 +34,37 @@ class TestStepStats:
         assert a.vertices_updated == 3
         assert a.bytes_sent == {0: 16, 1: 4}
 
+    def test_merge_folds_direction_counters(self):
+        a = StepStats(push_partitions=2, pull_partitions=1)
+        b = StepStats(push_partitions=1, pull_partitions=4)
+        a.merge(b)
+        assert a.push_partitions == 3
+        assert a.pull_partitions == 5
+        assert a.partition_steps == 8
 
-def _stats(edges, vertices, bytes_sent, messages_sent, disk_bytes, disk_reads):
+
+def _stats(edges, vertices, bytes_sent, messages_sent, disk_bytes, disk_reads,
+           push_partitions=0, pull_partitions=0):
     s = StepStats(edges_scanned=edges, vertices_updated=vertices)
     s.bytes_sent = dict(bytes_sent)
     s.messages_sent = dict(messages_sent)
     s.disk_bytes_read = disk_bytes
     s.disk_reads = disk_reads
+    s.push_partitions = push_partitions
+    s.pull_partitions = pull_partitions
     return s
 
 
 def _clone(s: StepStats) -> StepStats:
     return _stats(s.edges_scanned, s.vertices_updated, s.bytes_sent,
-                  s.messages_sent, s.disk_bytes_read, s.disk_reads)
+                  s.messages_sent, s.disk_bytes_read, s.disk_reads,
+                  s.push_partitions, s.pull_partitions)
 
 
 def _snapshot(s: StepStats) -> tuple:
     return (s.edges_scanned, s.vertices_updated, dict(s.bytes_sent),
-            dict(s.messages_sent), s.disk_bytes_read, s.disk_reads)
+            dict(s.messages_sent), s.disk_bytes_read, s.disk_reads,
+            s.push_partitions, s.pull_partitions)
 
 
 stats_strategy = st.builds(
@@ -57,6 +75,8 @@ stats_strategy = st.builds(
     st.dictionaries(st.integers(0, 7), st.integers(0, 10**5), max_size=5),
     st.integers(0, 10**8),
     st.integers(0, 1000),
+    st.integers(0, 64),
+    st.integers(0, 64),
 )
 
 
@@ -200,6 +220,54 @@ class TestNetworkModel:
         assert t >= 0
         stats[0].edges_scanned += 1_000_000
         assert nm.superstep_seconds(stats) >= t
+
+
+class TestChooseDirection:
+    """The push/pull decision rule (pure, replay-deterministic)."""
+
+    def test_empty_frontier_pushes(self):
+        assert choose_direction(0, 10**6) == "push"
+        assert choose_direction(-5, 10**6) == "push"
+
+    def test_sparse_frontier_pushes(self):
+        # 100 frontier edges vs 1M local edges: pushing is far cheaper
+        assert choose_direction(100, 10**6) == "push"
+
+    def test_dense_frontier_pulls(self):
+        # frontier covers nearly the whole edge set: pull the local tiles
+        assert choose_direction(10**6, 10**6) == "pull"
+
+    def test_crossover_at_coefficient_ratio(self):
+        # pull wins iff pull_coeff*local < push_coeff*frontier;
+        # with the defaults (1e-8 push, 2.5e-9 pull) that is local < 4*frontier
+        assert choose_direction(1000, 3999) == "pull"
+        assert choose_direction(1000, 4000) == "push"  # tie goes to push
+
+    def test_custom_coefficients(self):
+        assert choose_direction(1000, 4000, push_coeff=1.0, pull_coeff=0.1) \
+            == "pull"
+        assert choose_direction(
+            1000, 4000, push_coeff=1.0e-9, pull_coeff=2.5e-9
+        ) == "push"
+
+    def test_model_method_uses_model_coefficients(self):
+        nm = NetworkModel(seconds_per_edge_push=1.0, seconds_per_edge_pull=1.0)
+        assert nm.choose_direction(1000, 999) == "pull"
+        assert nm.choose_direction(1000, 1000) == "push"
+        default = NetworkModel()
+        assert default.choose_direction(1000, 3999) == "pull"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        frontier=st.integers(0, 10**9),
+        local=st.integers(0, 10**9),
+    )
+    def test_total_and_deterministic(self, frontier, local):
+        d = choose_direction(frontier, local)
+        assert d in ("push", "pull")
+        assert choose_direction(frontier, local) == d
+        if frontier <= 0:
+            assert d == "push"
 
 
 class TestVirtualClock:
