@@ -54,6 +54,7 @@ EXPERIMENTS = {
     "parallel-scaling": "parallel_scaling",
     "recovery-overhead": "recovery_overhead",
     "push-pull": "push_pull",
+    "dynamic-churn": "dynamic_churn",
 }
 
 
@@ -163,6 +164,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pending", type=int, default=None,
                    help="admission bound: shed submissions past this many "
                         "pending queries")
+    p.add_argument("--mutations", default=None,
+                   help="edge-stream file ('+/- u v [arrival]' lines) "
+                        "replayed through the drain, interleaved with the "
+                        "query batches (enables the dynamic graph layer)")
+
+    p = sub.add_parser(
+        "mutate",
+        help="replay an edge-mutation stream against a resident dynamic "
+             "session, optionally interleaved with k-hop queries",
+    )
+    add_common(p)
+    p.add_argument("stream",
+                   help="edge-stream file: '+ u v [arrival]' inserts, "
+                        "'- u v [arrival]' deletes; same-arrival lines form "
+                        "one atomic batch")
+    p.add_argument("--queries", type=int, default=0,
+                   help="interleave this many k-hop queries at --rate")
+    p.add_argument("--k", type=int, default=3)
+    p.add_argument("--rate", type=float, default=1000.0,
+                   help="Poisson arrival rate of the interleaved queries")
+    p.add_argument("--compact-interval", type=int, default=None,
+                   help="fold the pending delta into a new base every this "
+                        "many mutated batches")
+    p.add_argument("--index-maintenance",
+                   choices=["incremental", "rebuild", "none"],
+                   default="incremental",
+                   help="what happens to a resident hub-label index when "
+                        "mutations land")
+    p.add_argument("--cross-check", action="store_true",
+                   help="assert every dispatched batch is bit-identical to "
+                        "a rebuilt-from-scratch oracle at its epoch")
+    p.add_argument("--backend", choices=["inproc", "pool"], default="inproc")
 
     p = sub.add_parser(
         "chaos",
@@ -422,6 +455,17 @@ def cmd_service(args, out) -> int:
         backend=args.backend,
         retry_policy=RetryPolicy(max_attempts=args.max_retries + 1),
     )
+    mutation_batches = []
+    if args.mutations:
+        from repro.dynamic.stream import parse_edge_stream
+
+        if args.edge_sets:
+            raise SystemExit(
+                "repro service: --mutations is incompatible with --edge-sets "
+                "(edge-set mode is a static representation)"
+            )
+        mutation_batches = parse_edge_stream(args.mutations)
+        sess.dynamic()
     svc = QueryService(
         sess, args.k, discipline=args.discipline,
         batch_width=args.batch_width, use_edge_sets=args.edge_sets,
@@ -431,6 +475,8 @@ def cmd_service(args, out) -> int:
         ),
         max_pending=args.max_pending,
     )
+    for b in mutation_batches:
+        svc.apply_mutations(b.inserts, b.deletes, arrival=b.arrival)
     roots = random_sources(el, args.queries, seed=args.seed)
     rng = np.random.default_rng(args.seed)
     arrivals = np.cumsum(rng.exponential(1.0 / args.rate, size=args.queries))
@@ -463,6 +509,11 @@ def cmd_service(args, out) -> int:
         )
         print(f"  deadline {args.deadline_ms:g} ms: {n_missed} missed "
               f"(best-effort answers), {rep.shed} shed", file=out)
+    if args.mutations:
+        print(f"  mutations: {rep.mutations_applied} batch(es) interleaved, "
+              f"graph now at epoch {sess.graph_epoch} "
+              f"({sess.num_edges:,} edges); query epochs "
+              f"{int(rep.epochs.min())}..{int(rep.epochs.max())}", file=out)
     if args.backend == "pool":
         print(f"  pool: failures {sess.pool_failures}, "
               f"degraded {'yes' if rep.degraded else 'no'}", file=out)
@@ -478,6 +529,65 @@ def cmd_service(args, out) -> int:
         if args.metrics_out:
             path = write_prometheus(instr.metrics, args.metrics_out)
             print(f"  metrics written to {path}", file=out)
+    return 0
+
+
+def cmd_mutate(args, out) -> int:
+    """Replay an edge-mutation stream against one resident dynamic session.
+
+    Queued stream batches interleave with optional k-hop query traffic on
+    the service's virtual timeline: each batch applies before the first
+    query dispatched at or after its arrival, advancing the graph epoch.
+    With ``--cross-check`` every dispatched query batch is asserted
+    bit-identical (answers and virtual clocks) to a from-scratch rebuild
+    of the graph at the batch's epoch.
+    """
+    from repro.bench.workload import random_sources
+    from repro.dynamic.stream import parse_edge_stream
+    from repro.runtime.scheduler import QueryService
+
+    if args.queries < 0:
+        raise SystemExit("repro mutate: --queries must be >= 0")
+    if args.rate <= 0:
+        raise SystemExit("repro mutate: --rate must be > 0")
+    batches = parse_edge_stream(args.stream)
+    if not batches:
+        raise SystemExit(f"repro mutate: no mutations in {args.stream}")
+    el = _load(args)
+    sess = _session(args, el, backend=args.backend)
+    sess.dynamic(
+        index_maintenance=args.index_maintenance,
+        compact_interval=args.compact_interval,
+    )
+    svc = QueryService(sess, args.k, cross_check=args.cross_check)
+    for b in batches:
+        svc.apply_mutations(b.inserts, b.deletes, arrival=b.arrival)
+    if args.queries:
+        roots = random_sources(el, args.queries, seed=args.seed)
+        rng = np.random.default_rng(args.seed)
+        arrivals = np.cumsum(
+            rng.exponential(1.0 / args.rate, size=args.queries)
+        )
+        svc.submit_many(roots, arrivals)
+    rep = svc.drain()
+    dg = sess.dynamic()
+    ins = sum(r.inserts.shape[0] for r in dg.log.records)
+    dels = sum(r.deletes.shape[0] for r in dg.log.records)
+    print(f"replayed {rep.mutations_applied} mutation batch(es) from "
+          f"{args.stream} on {args.dataset}: +{ins} / -{dels} edges", file=out)
+    print(f"  graph: epoch {sess.graph_epoch}, {sess.num_edges:,} edges, "
+          f"{dg.compactions} compaction(s), "
+          f"{dg.num_pending} pending delta edge(s)", file=out)
+    if args.queries:
+        print(f"  {args.queries} interleaved {args.k}-hop queries: "
+              f"epochs {int(rep.epochs.min())}..{int(rep.epochs.max())}, "
+              f"mean response {rep.mean_response * 1e3:.3f} ms, "
+              f"p99 {rep.p99 * 1e3:.3f} ms", file=out)
+    if args.cross_check:
+        print("  cross-check vs rebuilt-from-scratch oracle: ok "
+              "(answers and virtual clocks bit-identical)", file=out)
+    if args.backend == "pool":
+        sess.close()
     return 0
 
 
@@ -669,6 +779,7 @@ def main(argv=None, out=None) -> int:
         "path": cmd_path,
         "centrality": cmd_centrality,
         "service": cmd_service,
+        "mutate": cmd_mutate,
         "chaos": cmd_chaos,
         "telemetry": cmd_telemetry,
         "index": cmd_index,

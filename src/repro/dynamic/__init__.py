@@ -1,0 +1,50 @@
+"""Dynamic graph layer: streaming edge mutations over a resident graph.
+
+A production reachability service never gets a frozen graph — it gets a
+stream of edge inserts and deletes interleaved with query traffic.  This
+subpackage keeps one :class:`~repro.graph.partition.PartitionedGraph`
+resident (and its shared-memory image attached to pool workers) while the
+edge set changes underneath it:
+
+* :mod:`repro.dynamic.delta` — the mutation log and the delta-aware
+  partitioned CSR/CSC: mutations splice *effective* shards over the frozen
+  base arrays in place, so traversal kernels (push scatter and dense pull
+  alike) read base+delta transparently and the shm graph image stays valid
+  between compactions.  :func:`~repro.dynamic.delta.build_with_delta` is
+  the pool-side twin: it patches a worker's attached shard before
+  delegating to the algorithm's real task builder.
+* :mod:`repro.dynamic.snapshot` — epoch-versioned snapshots: the mutation
+  log replays to the exact edge set (and an oracle partitioning) of any
+  past epoch, which is what the service's cross-check mode compares
+  answers against.
+
+Index maintenance for the dynamic graph lives with the index itself in
+:mod:`repro.index.incremental`; the service-facing mutation lane is
+:meth:`repro.runtime.session.GraphSession.apply_mutations` and
+:meth:`repro.runtime.scheduler.QueryService.apply_mutations`.
+"""
+
+from repro.dynamic.delta import (
+    DynamicGraph,
+    MutationLog,
+    MutationRecord,
+    MutationResult,
+    PartitionDelta,
+    apply_partition_delta,
+    build_with_delta,
+    splice_effective_csr,
+)
+from repro.dynamic.snapshot import GraphSnapshot, SnapshotStore
+
+__all__ = [
+    "DynamicGraph",
+    "MutationLog",
+    "MutationRecord",
+    "MutationResult",
+    "PartitionDelta",
+    "apply_partition_delta",
+    "build_with_delta",
+    "splice_effective_csr",
+    "GraphSnapshot",
+    "SnapshotStore",
+]

@@ -1,0 +1,496 @@
+"""The mutation log and the delta-aware partitioned CSR/CSC.
+
+A :class:`~repro.graph.partition.PartitionedGraph` is built once and then
+shared: the in-process engine reads its shards directly and the pool
+backend packs the same arrays into one shared-memory image the workers
+attach for their whole lifetime.  Rebuilding that world per edge mutation
+would forfeit everything the resident-session design buys, so the dynamic
+layer keeps the *base* arrays frozen and splices **effective shards** over
+them instead:
+
+* every partition's ``out_csr``/``in_csc`` attribute is swapped in place
+  for a freshly built CSR over ``(base − deleted) ∪ inserted``, touching
+  only the partitions that own a mutated endpoint — resident
+  :class:`~repro.runtime.cluster.Machine` objects and the shm graph image
+  both stay valid;
+* pool workers receive the pending per-partition delta piggybacked on the
+  next task install (:func:`build_with_delta`) and patch their *attached*
+  shard the same way — the coordinator never repacks shared memory until
+  :meth:`DynamicGraph.compact` folds the delta into a new base;
+* the spliced CSR is built by the same counting-sort construction as the
+  base (:func:`~repro.graph.csr.build_csr`), whose output depends only on
+  the per-row edge *sets* — so an effective shard is byte-identical to a
+  partition rebuilt from scratch on the mutated edge list, which is the
+  invariant every cross-check and property test in ``tests/dynamic``
+  pins.
+
+Epochs
+------
+The graph version counter.  Every batch of applied mutations (and every
+compaction) advances :attr:`DynamicGraph.epoch` by one; a query batch runs
+entirely against the epoch current at its dispatch.  The session joins the
+epoch into its task cache keys, so resident task state can never straddle
+two graph versions, and :mod:`repro.dynamic.snapshot` replays the
+:class:`MutationLog` to reconstruct any epoch's exact edge set.
+
+Dynamic graphs are restricted to unweighted, duplicate-free base edge
+lists (reachability's natural domain): set semantics make insert-existing
+and delete-absent well-defined no-ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MutationError
+from repro.graph.csr import CSR, build_csr
+from repro.graph.edgelist import EdgeList
+from repro.graph.partition import PartitionedGraph, owner_of_bounds
+
+__all__ = [
+    "DynamicGraph",
+    "MutationLog",
+    "MutationRecord",
+    "MutationResult",
+    "PartitionDelta",
+    "apply_partition_delta",
+    "build_with_delta",
+    "splice_effective_csr",
+]
+
+
+# --------------------------------------------------------------------------- #
+# the mutation log
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """One applied mutation batch (or compaction) in the log."""
+
+    epoch: int  # the epoch this batch created
+    inserts: np.ndarray = field(repr=False)  # (k, 2) int64, applied only
+    deletes: np.ndarray = field(repr=False)  # (k, 2) int64, applied only
+    compaction: bool = False
+
+
+class MutationLog:
+    """Append-only history of applied mutation batches, epoch-ordered.
+
+    The log is the source of truth for snapshot replay: epoch ``e``'s edge
+    set is the initial set with every record of epoch ``<= e`` applied.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[MutationRecord] = []
+
+    def append(self, record: MutationRecord) -> None:
+        if self.records and record.epoch <= self.records[-1].epoch:
+            raise MutationError("mutation log epochs must be increasing")
+        self.records.append(record)
+
+    def through(self, epoch: int) -> list[MutationRecord]:
+        """Records up to and including ``epoch`` (all of them for -1 < e)."""
+        return [r for r in self.records if r.epoch <= epoch]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """What one :meth:`DynamicGraph.apply` call actually did."""
+
+    epoch: int  # graph epoch after the batch
+    inserted: np.ndarray = field(repr=False)  # (k, 2) int64, applied
+    deleted: np.ndarray = field(repr=False)  # (k, 2) int64, applied
+    noop_inserts: int = 0  # already present
+    noop_deletes: int = 0  # already absent (or re-inserted in-batch)
+    touched_partitions: tuple = ()
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.inserted.size or self.deleted.size)
+
+
+# --------------------------------------------------------------------------- #
+# effective-shard construction (shared by parent, workers, degraded path)
+# --------------------------------------------------------------------------- #
+
+
+def splice_effective_csr(
+    base: CSR,
+    num_rows: int,
+    num_vertices: int,
+    ins_rows: np.ndarray,
+    ins_cols: np.ndarray,
+    del_rows: np.ndarray,
+    del_cols: np.ndarray,
+) -> CSR:
+    """Rebuild one shard as ``(base − deletes) ∪ inserts``.
+
+    Rows are local (partition-relative), columns global.  The result is a
+    pure function of the final per-row column sets — `build_csr`'s
+    counting sort plus stable column sort erases input order — so the
+    spliced shard matches a from-scratch rebuild byte for byte.
+    """
+    rows = np.repeat(
+        np.arange(num_rows, dtype=np.int64), base.degrees().astype(np.int64)
+    )
+    cols = base.indices.astype(np.int64)
+    if del_rows.size:
+        keys = rows * num_vertices + cols
+        del_keys = (
+            np.asarray(del_rows, np.int64) * num_vertices
+            + np.asarray(del_cols, np.int64)
+        )
+        keep = ~np.isin(keys, del_keys)
+        rows, cols = rows[keep], cols[keep]
+    if ins_rows.size:
+        rows = np.concatenate([rows, np.asarray(ins_rows, np.int64)])
+        cols = np.concatenate([cols, np.asarray(ins_cols, np.int64)])
+    return build_csr(rows, cols, num_rows)
+
+
+@dataclass(frozen=True)
+class PartitionDelta:
+    """The cumulative pending delta for one partition, relative to its base.
+
+    Endpoint pairs are global ``(u, v)`` ids; ``out_*`` mutate the
+    partition's out-CSR (it owns ``u``), ``in_*`` its in-CSC (it owns
+    ``v``).  Picklable — this is the payload `build_with_delta` broadcasts
+    to pool workers.
+    """
+
+    part_id: int
+    epoch: int  # the graph epoch this delta brings the shard to
+    num_vertices: int
+    out_inserts: np.ndarray = field(repr=False)  # (k, 2) int64
+    out_deletes: np.ndarray = field(repr=False)
+    in_inserts: np.ndarray = field(repr=False)
+    in_deletes: np.ndarray = field(repr=False)
+
+
+def apply_partition_delta(part, delta: PartitionDelta, base: tuple | None = None):
+    """Swap ``part``'s shards for their effective (base+delta) versions.
+
+    ``base`` is the ``(out_csr, in_csc)`` pair the delta is relative to;
+    by default the partition's current arrays (correct on first patch of a
+    freshly attached shard).  Derived caches (edge-sets, pull index) are
+    dropped — they are rebuilt lazily and deterministically from the new
+    shards.
+    """
+    base_out, base_in = base if base is not None else (part.out_csr, part.in_csc)
+    n = delta.num_vertices
+    part.out_csr = splice_effective_csr(
+        base_out,
+        part.num_local,
+        n,
+        delta.out_inserts[:, 0] - part.lo,
+        delta.out_inserts[:, 1],
+        delta.out_deletes[:, 0] - part.lo,
+        delta.out_deletes[:, 1],
+    )
+    part.in_csc = splice_effective_csr(
+        base_in,
+        part.num_local,
+        n,
+        delta.in_inserts[:, 1] - part.lo,
+        delta.in_inserts[:, 0],
+        delta.in_deletes[:, 1] - part.lo,
+        delta.in_deletes[:, 0],
+    )
+    part.edge_sets = None
+    part.pull_cache = None
+    part.graph_epoch = delta.epoch
+
+
+#: Worker-process registry of pristine attached shards, keyed by partition
+#: id.  A pool worker owns exactly one partition whose base arrays live in
+#: the (immutable between compactions) shm image; the first delta install
+#: stashes those views here so every later cumulative delta re-splices
+#: from the true base, and a respawned worker starts from an empty
+#: registry against a freshly attached image.
+_WORKER_BASE: dict[int, tuple[CSR, CSR]] = {}
+
+
+def build_with_delta(machine, cluster, _inner_build=None, _deltas=None, **kwargs):
+    """Pool task builder that patches the worker's shard, then delegates.
+
+    Installed in place of the algorithm's real ``build`` whenever the
+    session has pending deltas: ``_deltas`` maps partition id to its
+    :class:`PartitionDelta` and ``_inner_build`` is the wrapped adapter
+    (e.g. :func:`repro.core.adapters.build_khop`).  The patch is skipped
+    when the shard already sits at the delta's epoch — which is exactly
+    the parent-process case (the session patched its partitions directly),
+    so the degraded in-process fallback reuses this entry point unchanged.
+    """
+    part = machine.partition
+    delta = None if _deltas is None else _deltas.get(part.part_id)
+    if delta is not None and getattr(part, "graph_epoch", 0) != delta.epoch:
+        base = _WORKER_BASE.setdefault(part.part_id, (part.out_csr, part.in_csc))
+        apply_partition_delta(part, delta, base=base)
+    return _inner_build(machine, cluster, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# the dynamic graph
+# --------------------------------------------------------------------------- #
+
+
+class DynamicGraph:
+    """Streaming edge mutations over one resident partitioned graph.
+
+    Wraps (and mutates in place) a :class:`PartitionedGraph` whose
+    partition bounds are frozen for the graph's lifetime.  The current
+    edge set is ``(base − deleted) ∪ inserted``; :meth:`apply` advances
+    the epoch and re-splices the touched partitions' shards, and
+    :meth:`compact` folds the pending delta into a new base (after which
+    the pool must repack its shm image — the session handles that by
+    closing the pool on compaction).
+    """
+
+    def __init__(self, pg: PartitionedGraph):
+        if pg.edges.weight is not None:
+            raise MutationError("dynamic graphs must be unweighted")
+        n = pg.num_vertices
+        base_keys = pg.edges.src.astype(np.int64) * n + pg.edges.dst.astype(np.int64)
+        if np.unique(base_keys).size != base_keys.size:
+            raise MutationError(
+                "dynamic graphs need a duplicate-free base edge list "
+                "(EdgeList.deduplicate() it first)"
+            )
+        self.pg = pg
+        self.num_vertices = n
+        self.bounds = pg.bounds.copy()
+        self.epoch = 0
+        self.log = MutationLog()
+        self.epoch0_edges = pg.edges
+        self.compactions = 0
+        self._base_keys: set[int] = set(base_keys.tolist())
+        self._base_shards = {
+            p.part_id: (p.out_csr, p.in_csc) for p in pg.partitions
+        }
+        self._inserted: set[int] = set()  # pending, disjoint from base
+        self._deleted: set[int] = set()  # pending, subset of base
+        # Partitions mutated since the base shards were (re)built: the
+        # set pool_deltas() must cover even when pending nets to empty,
+        # so a patched worker can converge back onto the base image.
+        self._touched_since_base: set[int] = set()
+        for p in pg.partitions:
+            p.graph_epoch = 0
+
+    # -- state -------------------------------------------------------------- #
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._inserted) + len(self._deleted)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._inserted or self._deleted)
+
+    @property
+    def num_edges(self) -> int:
+        return self.pg.edges.num_edges - len(self._deleted) + len(self._inserted)
+
+    def _decode(self, keys: np.ndarray) -> np.ndarray:
+        """Sorted int64 keys -> (k, 2) global endpoint pairs."""
+        n = self.num_vertices
+        return np.stack([keys // n, keys % n], axis=1) if keys.size else keys.reshape(0, 2)
+
+    def _sorted_keys(self, keys: set) -> np.ndarray:
+        return np.array(sorted(keys), dtype=np.int64)
+
+    def materialize_edges(self) -> EdgeList:
+        """The current edge set as a fresh :class:`EdgeList` (key-sorted,
+        i.e. ``(src, dst)``-lexicographic — input-order independent)."""
+        keys = (self._base_keys - self._deleted) | self._inserted
+        pairs = self._decode(self._sorted_keys(keys))
+        return EdgeList(pairs[:, 0], pairs[:, 1], self.num_vertices)
+
+    # -- mutation ------------------------------------------------------------ #
+
+    def _as_pairs(self, pairs, name: str) -> np.ndarray:
+        arr = np.asarray(list(pairs) if not isinstance(pairs, np.ndarray) else pairs)
+        if arr.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise MutationError(f"{name} must be (u, v) pairs")
+        if arr.dtype.kind not in "iu":
+            if not np.array_equal(arr, arr.astype(np.int64)):
+                raise MutationError(f"{name} must be integer vertex pairs")
+        arr = arr.astype(np.int64)
+        if arr.min() < 0 or arr.max() >= self.num_vertices:
+            raise MutationError(
+                f"{name} endpoint out of range for n={self.num_vertices} "
+                "(the dynamic layer cannot grow the vertex set)"
+            )
+        return arr
+
+    def apply(self, inserts=(), deletes=()) -> MutationResult:
+        """Apply one mutation batch; returns what actually changed.
+
+        Batch semantics are set-valued: the new edge set is
+        ``(current − deletes) ∪ inserts`` (a pair named in both lists ends
+        up present).  Inserting a present edge or deleting an absent one
+        is a no-op; a batch with no net effect does **not** advance the
+        epoch.
+        """
+        ins = self._as_pairs(inserts, "inserts")
+        dels = self._as_pairs(deletes, "deletes")
+        n = self.num_vertices
+        ins_keys = dict.fromkeys((ins[:, 0] * n + ins[:, 1]).tolist())
+        del_keys = dict.fromkeys((dels[:, 0] * n + dels[:, 1]).tolist())
+
+        def present(key: int) -> bool:
+            if key in self._inserted:
+                return True
+            return key in self._base_keys and key not in self._deleted
+
+        applied_ins = [k for k in ins_keys if not present(k)]
+        applied_del = [
+            k for k in del_keys if k not in ins_keys and present(k)
+        ]
+        noop_ins = len(ins_keys) - len(applied_ins)
+        noop_del = len(del_keys) - len(applied_del)
+        if not applied_ins and not applied_del:
+            empty = np.empty((0, 2), dtype=np.int64)
+            return MutationResult(self.epoch, empty, empty, noop_ins, noop_del)
+
+        for k in applied_ins:
+            if k in self._base_keys:
+                self._deleted.discard(k)
+            else:
+                self._inserted.add(k)
+        for k in applied_del:
+            if k in self._inserted:
+                self._inserted.discard(k)
+            else:
+                self._deleted.add(k)
+        self.epoch += 1
+
+        ins_arr = self._decode(np.array(sorted(applied_ins), dtype=np.int64))
+        del_arr = self._decode(np.array(sorted(applied_del), dtype=np.int64))
+        touched = self._touched_partitions(ins_arr, del_arr)
+        self._touched_since_base.update(touched)
+        for pid in touched:
+            self._resplice_partition(pid)
+        # Parent-side invariant: every resident partition carries the
+        # current epoch, so build_with_delta's skip test holds on the
+        # degraded in-process path.
+        for p in self.pg.partitions:
+            p.graph_epoch = self.epoch
+        self.log.append(MutationRecord(self.epoch, ins_arr, del_arr))
+        return MutationResult(
+            self.epoch, ins_arr, del_arr, noop_ins, noop_del, tuple(touched)
+        )
+
+    def _touched_partitions(self, ins: np.ndarray, dels: np.ndarray) -> list[int]:
+        endpoints = np.concatenate([ins.ravel(), dels.ravel()])
+        if not endpoints.size:
+            return []
+        owners = owner_of_bounds(self.bounds, endpoints)
+        return sorted(set(np.asarray(owners).tolist()))
+
+    def _pending_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cumulative pending (inserts, deletes) as sorted (k, 2) arrays."""
+        return (
+            self._decode(self._sorted_keys(self._inserted)),
+            self._decode(self._sorted_keys(self._deleted)),
+        )
+
+    def _partition_delta(self, pid: int, ins: np.ndarray, dels: np.ndarray):
+        part = self.pg.partitions[pid]
+        lo, hi = part.lo, part.hi
+
+        def side(pairs: np.ndarray, col: int) -> np.ndarray:
+            if not pairs.size:
+                return pairs.reshape(0, 2)
+            mask = (pairs[:, col] >= lo) & (pairs[:, col] < hi)
+            return pairs[mask]
+
+        return PartitionDelta(
+            part_id=pid,
+            epoch=self.epoch,
+            num_vertices=self.num_vertices,
+            out_inserts=side(ins, 0),
+            out_deletes=side(dels, 0),
+            in_inserts=side(ins, 1),
+            in_deletes=side(dels, 1),
+        )
+
+    def _resplice_partition(self, pid: int) -> None:
+        ins, dels = self._pending_pairs()
+        delta = self._partition_delta(pid, ins, dels)
+        apply_partition_delta(
+            self.pg.partitions[pid], delta, base=self._base_shards[pid]
+        )
+
+    def pool_deltas(self) -> dict[int, PartitionDelta] | None:
+        """Pending per-partition deltas for pool broadcast (None when clean).
+
+        Ships a delta for every partition mutated since the base image —
+        cumulative relative to that image, stamped with the current epoch
+        — so a worker (fresh, respawned, or lagging several epochs)
+        always converges on the same effective shard.  A partition whose
+        pending delta netted back to empty still gets an (empty) delta:
+        a worker patched at an earlier epoch must re-splice to return to
+        the base arrays.
+        """
+        if not self._touched_since_base:
+            return None
+        ins, dels = self._pending_pairs()
+        deltas = {}
+        for pid in sorted(self._touched_since_base):
+            deltas[pid] = self._partition_delta(pid, ins, dels)
+        return deltas or None
+
+    # -- compaction ---------------------------------------------------------- #
+
+    def compact(self) -> MutationResult:
+        """Fold the pending delta into a new base edge list.
+
+        The graph itself does not change — only its representation — but
+        the epoch still advances: the base arrays backing any shm image
+        are replaced, so resident pool state keyed on the old epoch must
+        never be reused (the session closes its pool on compaction and the
+        next batch packs a fresh image).  Effective shards spliced before
+        the compaction and shards rebuilt from the compacted edge list are
+        byte-identical, so answers are unaffected.
+        """
+        edges = self.materialize_edges()
+        from repro.graph.partition import partition_with_bounds
+
+        fresh = partition_with_bounds(edges, self.bounds)
+        for part, built in zip(self.pg.partitions, fresh.partitions):
+            part.out_csr = built.out_csr
+            part.in_csc = built.in_csc
+            part.edge_sets = None
+            part.pull_cache = None
+        self.pg.edges = edges
+        self.epoch += 1
+        self.compactions += 1
+        n = self.num_vertices
+        self._base_keys = set(
+            (edges.src.astype(np.int64) * n + edges.dst.astype(np.int64)).tolist()
+        )
+        self._base_shards = {
+            p.part_id: (p.out_csr, p.in_csc) for p in self.pg.partitions
+        }
+        self._inserted.clear()
+        self._deleted.clear()
+        self._touched_since_base.clear()
+        for p in self.pg.partitions:
+            p.graph_epoch = self.epoch
+        empty = np.empty((0, 2), dtype=np.int64)
+        self.log.append(MutationRecord(self.epoch, empty, empty, compaction=True))
+        return MutationResult(self.epoch, empty, empty)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"epoch={self.epoch}, pending={self.num_pending})"
+        )

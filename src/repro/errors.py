@@ -34,6 +34,7 @@ __all__ = [
     "DeadlineExceeded",
     "Overloaded",
     "InvalidQueryError",
+    "MutationError",
 ]
 
 
@@ -75,3 +76,9 @@ class Overloaded(ReproError, RuntimeError):
 class InvalidQueryError(ReproError, ValueError):
     """A submitted query or batch failed validation (bad vertex ids,
     misaligned arrays, out-of-range parameters)."""
+
+
+class MutationError(ReproError, ValueError):
+    """An edge mutation (or the graph it targets) failed validation: ids
+    out of range, a weighted or duplicated base graph, or a request the
+    dynamic layer cannot represent (e.g. growing the vertex set)."""

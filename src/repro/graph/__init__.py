@@ -22,7 +22,12 @@ This subpackage provides everything C-Graph's core engine sits on:
 from repro.graph.edgelist import EdgeList
 from repro.graph.csr import CSR, build_csr, build_csc
 from repro.graph.edgeset import EdgeSet, EdgeSetMatrix, degree_balanced_ranges
-from repro.graph.partition import Partition, PartitionedGraph, range_partition
+from repro.graph.partition import (
+    Partition,
+    PartitionedGraph,
+    partition_with_bounds,
+    range_partition,
+)
 from repro.graph.generators import (
     rmat_edges,
     graph500_kronecker,
@@ -58,6 +63,7 @@ __all__ = [
     "Partition",
     "PartitionedGraph",
     "range_partition",
+    "partition_with_bounds",
     "rmat_edges",
     "graph500_kronecker",
     "erdos_renyi",

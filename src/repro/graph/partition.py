@@ -33,6 +33,7 @@ __all__ = [
     "PullBlock",
     "PullIndex",
     "range_partition",
+    "partition_with_bounds",
     "owner_of_bounds",
 ]
 
@@ -292,6 +293,21 @@ def range_partition(edges: EdgeList, num_partitions: int) -> PartitionedGraph:
         # More partitions than vertices: trailing partitions own empty ranges.
         pad = np.full(num_partitions + 1 - bounds.size, n, dtype=np.int64)
         bounds = np.concatenate([bounds, pad])
+    return partition_with_bounds(edges, bounds)
+
+
+def partition_with_bounds(edges: EdgeList, bounds: np.ndarray) -> PartitionedGraph:
+    """Partition ``edges`` against a *fixed* set of range bounds.
+
+    The dynamic-graph layer pins the bounds chosen for the initial graph
+    and rebuilds oracle/compacted partitions against them, so shard
+    contents stay comparable byte-for-byte across mutations (each CSR is a
+    pure function of the per-row edge sets, independent of input order).
+    """
+    bounds = np.asarray(bounds, dtype=np.int64)
+    num_partitions = bounds.size - 1
+    if num_partitions <= 0:
+        raise ValueError("bounds must contain at least two entries")
 
     src, dst = edges.src, edges.dst
     w = edges.weight

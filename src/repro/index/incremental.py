@@ -1,0 +1,439 @@
+"""Incremental maintenance of the pruned 2-hop index under mutations.
+
+A full :func:`~repro.index.build.build_hub_labels` run is one pruned BFS
+per vertex — the right cost to pay once, the wrong cost to pay per edge
+mutation.  This module patches the resident labels in place, TOL-style
+(Zhu et al., SIGMOD'14 maintain a total-order reachability labeling under
+``addEdge``/``DeleteNode`` the same way):
+
+**Insert** — pruned resumption BFS (Akiba–Iwata–Yoshida).  Inserting
+``(u, v)`` can only create shorter paths *through* that edge, and the
+prefix ``h ⇝ u`` of any such path is unaffected, so for every entry
+``(h, d_hu)`` of ``u``'s in-label a forward BFS resumes from ``v`` at
+distance ``d_hu + 1``, writing ``in``-label entries where the current
+two-hop query cannot already match the candidate distance (the standard
+PLL prune); symmetrically backward from ``u`` over ``v``'s out-label.
+Edges of a batch are applied one at a time, so each resumption runs
+against exact labels for the previous graph — the induction the published
+correctness proof needs.
+
+**Delete** — invalidate-and-repair over the affected region.  If deleting
+edge set ``D`` changes ``d(x, y)``, then along any old shortest path the
+*first* deleted edge ``(u, v)`` has ``d(u, y)`` changed (else the intact
+prefix plus a surviving ``u ⇝ y`` path would preserve ``d(x, y)``), and
+the *last* deleted edge ``(u', v')`` has ``d(x, v')`` changed.  So the
+changed pairs are contained in ``W_b × W_f`` where ``W_f`` collects
+vertices whose distance *from* some deleted tail changed (old/new forward
+BFS diff per distinct tail) and ``W_b`` vertices whose distance *to* some
+deleted head changed.  Repair recomputes full exact in-labels for
+``W_f`` and full exact out-labels for ``W_b``; every surviving entry
+elsewhere is provably still exact, and a repaired pair always finds an
+exact witness through the source's own hub.
+
+**Staleness budget** — incremental patching wins only at low churn.  The
+index tracks cumulative applied mutations since its last full build and
+reports ``needs_rebuild`` once they exceed ``churn_threshold`` of the
+base edge count (or when a delete's affected region exceeds
+``region_threshold`` of the vertices, where repair would out-cost a
+rebuild); the session then rebuilds instead of patching.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.labels import HubLabels
+
+__all__ = ["IncrementalIndex", "IndexPatchResult"]
+
+
+@dataclass(frozen=True)
+class IndexPatchResult:
+    """Accounting for one :meth:`IncrementalIndex.apply` call."""
+
+    patched: bool  # labels were updated in place
+    needs_rebuild: bool  # budget exceeded: caller must rebuild fully
+    entries_patched: int = 0  # label entries written
+    vertices_repaired: int = 0  # full-label recomputations (deletes)
+    resumptions: int = 0  # pruned resumption BFS runs (inserts)
+    visits: int = 0  # total BFS vertex visits
+    seconds: float = 0.0  # wall time of the patch
+
+
+def _adj_csr(adj: list, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pack an adjacency of sets into CSR arrays for vectorised BFS."""
+    counts = np.fromiter((len(s) for s in adj), dtype=np.int64, count=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.fromiter(
+        (x for s in adj for x in s), dtype=np.int64, count=int(indptr[-1])
+    )
+    return indptr, indices
+
+
+def _bfs_np(
+    indptr: np.ndarray, indices: np.ndarray, root: int, n: int
+) -> np.ndarray:
+    """Hop distances from ``root`` (``-1`` = unreachable), whole frontiers
+    expanded with gather/scatter instead of per-vertex Python loops."""
+    dist = np.full(n, -1, dtype=np.int32)
+    dist[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        d += 1
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if not total:
+            break
+        before = np.cumsum(counts) - counts  # exclusive prefix per row
+        nbrs = indices[
+            np.repeat(starts - before, counts) + np.arange(total)
+        ]
+        nbrs = nbrs[dist[nbrs] < 0]
+        if not nbrs.size:
+            break
+        frontier = np.unique(nbrs)
+        dist[frontier] = d
+    return dist
+
+
+class IncrementalIndex:
+    """Mutable twin of a frozen :class:`HubLabels`, patchable per batch.
+
+    Holds per-vertex ``{hub rank: distance}`` maps plus its own adjacency
+    copy (sets, updated per mutation), so patching never depends on the
+    resident graph's representation.  :meth:`finalize` re-freezes into a
+    :class:`HubLabels` with the same storage contract (ranks ascending per
+    vertex), so the planner, ``dist_many`` and the service are oblivious
+    to how the labels were produced.
+
+    Invariant maintained by every patch: **all stored entries are exact
+    distances** in the current graph and the labels remain a 2-hop cover
+    — queries through :meth:`finalize`'s output match a from-scratch
+    build's answers (not necessarily its exact entry set; full-label
+    repairs over-approximate the *pruned* entry set, which is what the
+    staleness budget bounds).
+    """
+
+    def __init__(
+        self,
+        labels: HubLabels,
+        out_adj: list,
+        in_adj: list,
+        base_edges: int,
+        churn_threshold: float = 0.02,
+        region_threshold: float = 0.5,
+    ):
+        n = labels.num_vertices
+        self.num_vertices = n
+        self.order = labels.order.copy()
+        self.rank_of = np.empty(n, dtype=np.int64)
+        self.rank_of[self.order] = np.arange(n, dtype=np.int64)
+        self.out_labels = [
+            dict(
+                zip(
+                    labels.out_hubs[labels.out_indptr[v]:labels.out_indptr[v + 1]].tolist(),
+                    labels.out_dists[labels.out_indptr[v]:labels.out_indptr[v + 1]].tolist(),
+                )
+            )
+            for v in range(n)
+        ]
+        self.in_labels = [
+            dict(
+                zip(
+                    labels.in_hubs[labels.in_indptr[v]:labels.in_indptr[v + 1]].tolist(),
+                    labels.in_dists[labels.in_indptr[v]:labels.in_indptr[v + 1]].tolist(),
+                )
+            )
+            for v in range(n)
+        ]
+        # Packed image of the labels as of the last finalize (seeded from
+        # the input build), plus the vertices whose dicts diverged from it.
+        # finalize() then re-packs only the dirty rows.
+        self._packed_out = (
+            labels.out_indptr.copy(), labels.out_hubs.copy(),
+            labels.out_dists.copy(),
+        )
+        self._packed_in = (
+            labels.in_indptr.copy(), labels.in_hubs.copy(),
+            labels.in_dists.copy(),
+        )
+        self._dirty_out: set[int] = set()
+        self._dirty_in: set[int] = set()
+        self.out_adj = out_adj
+        self.in_adj = in_adj
+        self.base_edges = int(base_edges)
+        self.churn_threshold = float(churn_threshold)
+        self.region_threshold = float(region_threshold)
+        self.mutations_since_build = 0
+        self.entries_patched_total = 0
+
+    @classmethod
+    def from_graph(cls, labels: HubLabels, graph, **kwargs) -> "IncrementalIndex":
+        """Construct from the resident graph (its current global CSR/CSC).
+
+        ``graph`` must be at the same epoch the labels were built at.
+        """
+        from repro.index.build import global_csr_csc
+
+        out_csr, in_csc = global_csr_csc(graph)
+        n = labels.num_vertices
+        out_adj = [set(out_csr.neighbors(v).tolist()) for v in range(n)]
+        in_adj = [set(in_csc.neighbors(v).tolist()) for v in range(n)]
+        return cls(
+            labels, out_adj, in_adj, base_edges=int(out_csr.nnz), **kwargs
+        )
+
+    # -- queries against the live (mutable) labels --------------------------- #
+
+    def _query(self, x: int, y: int) -> float:
+        """Current two-hop distance estimate for ``x -> y``."""
+        lx, ly = self.out_labels[x], self.in_labels[y]
+        if len(ly) < len(lx):
+            best = min(
+                (lx[r] + d for r, d in ly.items() if r in lx),
+                default=float("inf"),
+            )
+        else:
+            best = min(
+                (d + ly[r] for r, d in lx.items() if r in ly),
+                default=float("inf"),
+            )
+        return best
+
+    # -- the patch ----------------------------------------------------------- #
+
+    def apply(self, inserts: np.ndarray, deletes: np.ndarray) -> IndexPatchResult:
+        """Patch the labels for one *applied* mutation batch.
+
+        ``inserts``/``deletes`` are the ``(k, 2)`` arrays a
+        :class:`~repro.dynamic.delta.MutationResult` reports — already
+        canonical (disjoint, no no-ops).  Deletes are processed first,
+        then inserts one edge at a time, mirroring the set semantics of
+        :meth:`~repro.dynamic.delta.DynamicGraph.apply`.
+
+        When the staleness budget trips, the adjacency is still brought
+        up to date but the labels are **not** patched — the caller must
+        rebuild from scratch (and construct a fresh IncrementalIndex).
+        """
+        t0 = time.perf_counter()
+        ins = np.asarray(inserts, dtype=np.int64).reshape(-1, 2)
+        dels = np.asarray(deletes, dtype=np.int64).reshape(-1, 2)
+        self.mutations_since_build += int(ins.shape[0] + dels.shape[0])
+        over_churn = (
+            self.mutations_since_build
+            > self.churn_threshold * max(self.base_edges, 1)
+        )
+        if over_churn:
+            self._update_adjacency_only(ins, dels)
+            return IndexPatchResult(
+                patched=False,
+                needs_rebuild=True,
+                seconds=time.perf_counter() - t0,
+            )
+
+        entries = visits = repaired = resumptions = 0
+
+        # -- delete phase: invalidate and repair the affected region -------- #
+        if dels.shape[0]:
+            n = self.num_vertices
+            tails = sorted({int(u) for u, _ in dels})
+            heads = sorted({int(v) for _, v in dels})
+            out_ptr, out_idx = _adj_csr(self.out_adj, n)
+            in_ptr, in_idx = _adj_csr(self.in_adj, n)
+            old_f = {u: _bfs_np(out_ptr, out_idx, u, n) for u in tails}
+            old_b = {v: _bfs_np(in_ptr, in_idx, v, n) for v in heads}
+            for u, v in dels:
+                self.out_adj[int(u)].discard(int(v))
+                self.in_adj[int(v)].discard(int(u))
+            out_ptr, out_idx = _adj_csr(self.out_adj, n)
+            in_ptr, in_idx = _adj_csr(self.in_adj, n)
+            changed_f = np.zeros(n, dtype=bool)
+            changed_b = np.zeros(n, dtype=bool)
+            for u in tails:
+                new = _bfs_np(out_ptr, out_idx, u, n)
+                visits += int((old_f[u] >= 0).sum() + (new >= 0).sum())
+                changed_f |= old_f[u] != new
+            for v in heads:
+                new = _bfs_np(in_ptr, in_idx, v, n)
+                visits += int((old_b[v] >= 0).sum() + (new >= 0).sum())
+                changed_b |= old_b[v] != new
+            w_f = np.flatnonzero(changed_f)
+            w_b = np.flatnonzero(changed_b)
+            if w_f.size + w_b.size > self.region_threshold * n:
+                # Repairing most of the graph costs more than rebuilding.
+                for u, v in ins:
+                    self.out_adj[int(u)].add(int(v))
+                    self.in_adj[int(v)].add(int(u))
+                return IndexPatchResult(
+                    patched=False,
+                    needs_rebuild=True,
+                    visits=visits,
+                    seconds=time.perf_counter() - t0,
+                )
+            for y in w_f.tolist():
+                dists = _bfs_np(in_ptr, in_idx, y, n)  # ancestors: d(a, y)
+                vs = np.flatnonzero(dists >= 0)
+                visits += vs.size
+                self.in_labels[y] = dict(
+                    zip(self.rank_of[vs].tolist(), dists[vs].tolist())
+                )
+                self._dirty_in.add(y)
+                entries += vs.size
+                repaired += 1
+            for x in w_b.tolist():
+                dists = _bfs_np(out_ptr, out_idx, x, n)  # descendants: d(x, b)
+                vs = np.flatnonzero(dists >= 0)
+                visits += vs.size
+                self.out_labels[x] = dict(
+                    zip(self.rank_of[vs].tolist(), dists[vs].tolist())
+                )
+                self._dirty_out.add(x)
+                entries += vs.size
+                repaired += 1
+
+        # -- insert phase: pruned resumption, one edge at a time ------------ #
+        for u, v in ins:
+            u, v = int(u), int(v)
+            self.out_adj[u].add(v)
+            self.in_adj[v].add(u)
+            for r, d_hu in sorted(self.in_labels[u].items()):
+                e, vis = self._resume(
+                    self.out_adj, self.in_labels, self._dirty_in,
+                    r, v, d_hu + 1, forward=True,
+                )
+                entries += e
+                visits += vis
+                resumptions += 1
+            for r, d_vh in sorted(self.out_labels[v].items()):
+                e, vis = self._resume(
+                    self.in_adj, self.out_labels, self._dirty_out,
+                    r, u, d_vh + 1, forward=False,
+                )
+                entries += e
+                visits += vis
+                resumptions += 1
+
+        self.entries_patched_total += entries
+        return IndexPatchResult(
+            patched=True,
+            needs_rebuild=False,
+            entries_patched=entries,
+            vertices_repaired=repaired,
+            resumptions=resumptions,
+            visits=visits,
+            seconds=time.perf_counter() - t0,
+        )
+
+    def _resume(
+        self, adj: list, labels: list, dirty: set, rank: int, start: int,
+        start_dist: int, forward: bool,
+    ) -> tuple[int, int]:
+        """One pruned resumption BFS for hub ``order[rank]``.
+
+        ``forward=True`` walks out-edges writing in-label entries (hub
+        reaches the visited vertices); ``forward=False`` walks in-edges
+        writing out-label entries.  Prunes wherever the current two-hop
+        query already matches the candidate distance.
+        """
+        h = int(self.order[rank])
+        entries = visits = 0
+        seen = {start}
+        frontier = [start]
+        d = start_dist
+        while frontier:
+            nxt = []
+            for w in frontier:
+                visits += 1
+                q = self._query(h, w) if forward else self._query(w, h)
+                if q <= d:
+                    continue  # covered: neither label nor expand
+                labels[w][rank] = d
+                dirty.add(w)
+                entries += 1
+                for x in adj[w]:
+                    if x not in seen:
+                        seen.add(x)
+                        nxt.append(x)
+            frontier = nxt
+            d += 1
+        return entries, visits
+
+    def _update_adjacency_only(self, ins: np.ndarray, dels: np.ndarray) -> None:
+        for u, v in dels:
+            self.out_adj[int(u)].discard(int(v))
+            self.in_adj[int(v)].discard(int(u))
+        for u, v in ins:
+            self.out_adj[int(u)].add(int(v))
+            self.in_adj[int(v)].add(int(u))
+
+    # -- freezing back ------------------------------------------------------- #
+
+    def finalize(self) -> HubLabels:
+        """Freeze into a :class:`HubLabels` (ranks ascending per vertex).
+
+        Incremental: only vertices whose dicts diverged since the last
+        finalize are re-packed; clean rows are spliced from the cached
+        packed image, so a finalize after a small patch is O(total
+        entries) of numpy copying rather than a Python walk per entry.
+        """
+        self._packed_out = self._repack(
+            self.out_labels, self._packed_out, self._dirty_out
+        )
+        self._dirty_out = set()
+        self._packed_in = self._repack(
+            self.in_labels, self._packed_in, self._dirty_in
+        )
+        self._dirty_in = set()
+        out_indptr, out_hubs, out_dists = self._packed_out
+        in_indptr, in_hubs, in_dists = self._packed_in
+        return HubLabels(
+            num_vertices=self.num_vertices,
+            order=self.order.copy(),
+            out_indptr=out_indptr,
+            out_hubs=out_hubs,
+            out_dists=out_dists,
+            in_indptr=in_indptr,
+            in_hubs=in_hubs,
+            in_dists=in_dists,
+        )
+
+    def _repack(
+        self, label_dicts: list, packed: tuple, dirty: set
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not dirty:
+            return packed
+        n = self.num_vertices
+        indptr0, hubs0, dists0 = packed
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        hub_segs: list[np.ndarray] = []
+        dist_segs: list[np.ndarray] = []
+        for v in range(n):
+            if v in dirty:
+                items = sorted(label_dicts[v].items())
+                hub_segs.append(np.fromiter(
+                    (r for r, _ in items), dtype=hubs0.dtype, count=len(items)
+                ))
+                dist_segs.append(np.fromiter(
+                    (d for _, d in items), dtype=dists0.dtype, count=len(items)
+                ))
+            else:
+                hub_segs.append(hubs0[indptr0[v]:indptr0[v + 1]])
+                dist_segs.append(dists0[indptr0[v]:indptr0[v + 1]])
+            indptr[v + 1] = indptr[v] + len(hub_segs[-1])
+        return (
+            indptr,
+            np.concatenate(hub_segs) if hub_segs else hubs0[:0],
+            np.concatenate(dist_segs) if dist_segs else dists0[:0],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IncrementalIndex(n={self.num_vertices}, "
+            f"mutations_since_build={self.mutations_since_build})"
+        )

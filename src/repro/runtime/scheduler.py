@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import InvalidQueryError, Overloaded
+from repro.errors import InvalidQueryError, MutationError, Overloaded
 
 __all__ = [
     "simulate_fifo_pool",
@@ -183,6 +183,13 @@ class ServiceReport:
     degraded: bool = False
     #: Submissions rejected by admission control since the last drain.
     shed: int = 0
+    #: Per-query graph epoch its batch ran against (dynamic sessions only;
+    #: None on a static session).  Every query of one dispatch shares one
+    #: epoch — a batch never straddles a mutation.
+    epochs: np.ndarray | None = None
+    #: Queued mutation batches this drain applied (interleaved with query
+    #: batches in arrival order; charged zero virtual time).
+    mutations_applied: int = 0
 
     @property
     def response_seconds(self) -> np.ndarray:
@@ -286,9 +293,25 @@ class QueryService:
       Enumeration queries (no target) always keep the traversal path —
       labels bound distances, they cannot enumerate reach sets.
 
-    ``cross_check=True`` (hybrid only) re-runs every index-answered batch
-    on the traversal engine and raises if any verdict differs — the
-    bit-identical contract, off the service's accounting books.
+    ``cross_check=True`` re-runs answers off the service's accounting
+    books and raises on any mismatch — the bit-identical contract.  On a
+    static session it requires the hybrid planner (index answers checked
+    against the traversal engine); on a dynamic session (one whose
+    :meth:`~repro.runtime.session.GraphSession.dynamic` layer is enabled)
+    it additionally checks **every** dispatched batch against a
+    rebuilt-from-scratch oracle graph at the batch's epoch — answers and
+    virtual clocks both.
+
+    **Mutation lane** — on a dynamic session, :meth:`apply_mutations`
+    either applies an edge-mutation batch immediately or queues it with an
+    arrival time; :meth:`drain` then interleaves due mutations with query
+    batches: a mutation batch applies (advancing the graph epoch) before
+    any query batch dispatched at or after its arrival, every query batch
+    runs entirely against one epoch (recorded per query in
+    ``ServiceReport.epochs``), and mutations are charged zero virtual time
+    (ingestion is off the query clock).  The hybrid planner consults the
+    index epoch before routing: point queries fall back to the traversal
+    lane whenever the resident index is stale for the current epoch.
 
     The virtual clock persists across drains — the session stays resident
     between waves of arrivals, which is the deployment model the paper
@@ -315,8 +338,14 @@ class QueryService:
             raise ValueError("batch_width must be in [1, 64]")
         if planner not in ("traversal", "hybrid"):
             raise ValueError("planner must be 'traversal' or 'hybrid'")
-        if cross_check and planner != "hybrid":
-            raise ValueError("cross_check only applies to the hybrid planner")
+        if (
+            cross_check
+            and planner != "hybrid"
+            and not getattr(session, "is_dynamic", False)
+        ):
+            raise ValueError(
+                "cross_check needs the hybrid planner or a dynamic session"
+            )
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive")
         if max_pending is not None and max_pending < 1:
@@ -359,6 +388,13 @@ class QueryService:
         # pool-mode worker slots: next-free virtual time per slot
         self._slots: list[float] = [0.0] * self.concurrency
         heapq.heapify(self._slots)
+        # the mutation lane (dynamic sessions)
+        self.mutations_applied = 0
+        self._mut_seq = 0
+        self._pending_mutations: list[tuple] = []  # (arrival, seq, ins, dels)
+        self._due_mutations: list[tuple] = []  # drain-local, arrival-sorted
+        self._drain_mutations = 0
+        self._oracle_sessions: dict[int, object] = {}  # epoch -> GraphSession
 
     # -- submission --------------------------------------------------------- #
 
@@ -429,6 +465,53 @@ class QueryService:
     def num_pending(self) -> int:
         return len(self._pending)
 
+    # -- the mutation lane --------------------------------------------------- #
+
+    def apply_mutations(self, inserts=(), deletes=(), arrival: float | None = None):
+        """Apply (or queue) one edge-mutation batch on the dynamic session.
+
+        Without ``arrival`` the batch applies immediately (between drains)
+        and its :class:`~repro.dynamic.delta.MutationResult` is returned.
+        With an ``arrival`` the batch queues and the next :meth:`drain`
+        applies it — in arrival order, ties broken by submission order —
+        before any query batch dispatched at or after that virtual time;
+        ``None`` is returned.  Mutations are charged zero virtual time:
+        ingestion runs off the query clock.
+        """
+        if not getattr(self.session, "is_dynamic", False):
+            raise MutationError(
+                "the service's session is static; enable session.dynamic() "
+                "before applying mutations"
+            )
+        if arrival is None:
+            res = self.session.apply_mutations(inserts, deletes)
+            self.mutations_applied += 1
+            return res
+        if arrival < 0:
+            raise InvalidQueryError("arrival time must be non-negative")
+        seq = self._mut_seq
+        self._mut_seq += 1
+        self._pending_mutations.append((float(arrival), seq, inserts, deletes))
+        return None
+
+    @property
+    def num_pending_mutations(self) -> int:
+        return len(self._pending_mutations)
+
+    def _apply_due_mutations(self, now: float) -> None:
+        """Apply every queued mutation batch with ``arrival <= now``."""
+        while self._due_mutations and self._due_mutations[0][0] <= now:
+            _, _, inserts, deletes = self._due_mutations.pop(0)
+            self.session.apply_mutations(inserts, deletes)
+            self.mutations_applied += 1
+            self._drain_mutations += 1
+
+    def _next_mutation_arrival(self) -> float | None:
+        return self._due_mutations[0][0] if self._due_mutations else None
+
+    def _epoch(self) -> int:
+        return int(getattr(self.session, "graph_epoch", 0))
+
     # -- the admission loop ------------------------------------------------- #
 
     def drain(self) -> ServiceReport:
@@ -436,10 +519,21 @@ class QueryService:
 
         Point reachability queries drain first (they are the latency-
         sensitive class the hybrid planner exists for), then enumeration
-        queries run under the configured discipline.
+        queries run under the configured discipline.  On a dynamic session
+        queued mutation batches interleave: each applies before the first
+        query batch dispatched at or after its arrival, and any left over
+        (arrivals past the last dispatch) apply at the end of the drain.
         """
+        # arrival order, ties broken by submission order; arrays in the
+        # tuples never get compared because seq is unique
+        self._due_mutations = sorted(
+            self._pending_mutations, key=lambda m: (m[0], m[1])
+        )
+        self._pending_mutations = []
+        self._drain_mutations = 0
         if not self._pending:
-            return self._report([], {}, {}, 0, {}, {}, 0.0, {})
+            self._apply_due_mutations(float("inf"))
+            return self._report([], {}, {}, 0, {}, {}, 0.0, {}, {})
         # FIFO: by arrival time, ties broken by submission order
         queue = sorted(self._pending, key=lambda q: (q.arrival, q.query_id))
         self._pending = []
@@ -448,6 +542,7 @@ class QueryService:
         verdicts: dict[int, bool] = {}
         routes: dict[int, str] = {}
         missed: dict[int, bool] = {}
+        epochs: dict[int, int] = {}
         num_dispatches = 0
         busy = 0.0
         point = [q for q in queue if q.target is not None]
@@ -459,28 +554,33 @@ class QueryService:
             if point:
                 if self.planner == "hybrid":
                     n, t = self._drain_point_index(
-                        point, starts, finishes, verdicts, routes
+                        point, starts, finishes, verdicts, routes, missed,
+                        epochs,
                     )
                 else:
                     n, t = self._drain_point_traversal(
-                        point, starts, finishes, verdicts, routes, missed
+                        point, starts, finishes, verdicts, routes, missed,
+                        epochs,
                     )
                 num_dispatches += n
                 busy += t
             if enum:
                 if self.discipline == "batch":
-                    n, t = self._drain_batch(enum, starts, finishes, missed)
+                    n, t = self._drain_batch(
+                        enum, starts, finishes, missed, epochs
+                    )
                 else:
-                    n, t = self._drain_pool(enum, starts, finishes)
+                    n, t = self._drain_pool(enum, starts, finishes, epochs)
                 num_dispatches += n
                 busy += t
+            self._apply_due_mutations(float("inf"))  # arrivals past the end
         self.batches_dispatched += num_dispatches
         if missed:
             self.deadline_misses += len(missed)
             self.instr.on_deadline_miss(len(missed))
         report = self._report(
             queue, starts, finishes, num_dispatches, verdicts, routes, busy,
-            missed,
+            missed, epochs,
         )
         if self.instr.enabled:
             for route, resp in zip(report.routes, report.response_seconds):
@@ -491,7 +591,7 @@ class QueryService:
         return report
 
     def _drain_point_index(
-        self, queue, starts, finishes, verdicts, routes
+        self, queue, starts, finishes, verdicts, routes, missed, epochs
     ) -> tuple[int, float]:
         """Answer point queries from the resident index (hybrid planner).
 
@@ -499,8 +599,48 @@ class QueryService:
         arrives (no queueing behind traversal batches) and pays its
         label-scan cost under the session's cost model.  The service clock
         is only raised to cover the latest lookup, never rewound.
+
+        On a dynamic session the lane is split at pending-mutation
+        arrivals: each group applies its due mutations first, then consults
+        the index epoch — a resident index stale for the current graph
+        epoch routes the group to the traversal lane instead of serving
+        wrong answers cheaply.
         """
+        num = 0
+        busy = 0.0
+        i = 0
+        while i < len(queue):
+            self._apply_due_mutations(queue[i].arrival)
+            next_mut = self._next_mutation_arrival()
+            group = [queue[i]]
+            i += 1
+            while i < len(queue) and (
+                next_mut is None or queue[i].arrival < next_mut
+            ):
+                group.append(queue[i])
+                i += 1
+            stale = (
+                getattr(self.session, "is_dynamic", False)
+                and self.session.has_index
+                and not self.session.index_is_current
+            )
+            if stale:
+                n, t = self._drain_point_traversal(
+                    group, starts, finishes, verdicts, routes, missed, epochs
+                )
+            else:
+                n, t = self._index_group(
+                    group, starts, finishes, verdicts, routes, epochs
+                )
+            num += n
+            busy += t
+        return num, busy
+
+    def _index_group(
+        self, queue, starts, finishes, verdicts, routes, epochs
+    ) -> tuple[int, float]:
         planner = self.session.index_planner()  # builds the index once
+        epoch = self._epoch()
         sources = np.array([q.source for q in queue], dtype=np.int64)
         targets = np.array([q.target for q in queue], dtype=np.int64)
         answer = planner.answer(sources, targets, self.k)
@@ -509,6 +649,7 @@ class QueryService:
             finishes[q.query_id] = q.arrival + float(answer.service_seconds[j])
             verdicts[q.query_id] = bool(answer.reachable[j])
             routes[q.query_id] = "index"
+            epochs[q.query_id] = epoch
         self.clock = max(self.clock, max(finishes[q.query_id] for q in queue))
         if self.instr.enabled:
             self.instr.tracer.record(
@@ -520,11 +661,18 @@ class QueryService:
             )
             self.instr.on_dispatch("index")
         if self.cross_check:
-            self._assert_matches_traversal(sources, targets, answer.reachable)
+            if getattr(self.session, "is_dynamic", False):
+                self._assert_matches_oracle_index(
+                    sources, targets, answer.reachable, epoch
+                )
+            else:
+                self._assert_matches_traversal(
+                    sources, targets, answer.reachable
+                )
         return len(queue), answer.total_seconds
 
     def _drain_point_traversal(
-        self, queue, starts, finishes, verdicts, routes, missed
+        self, queue, starts, finishes, verdicts, routes, missed, epochs
     ) -> tuple[int, float]:
         """Point queries on the bit-parallel reachability engine (word-wide
         FIFO batches with per-query early termination)."""
@@ -533,6 +681,8 @@ class QueryService:
         i = 0
         while i < len(queue):
             now = max(self.clock, queue[i].arrival)
+            self._apply_due_mutations(now)
+            epoch = self._epoch()
             batch = [queue[i]]
             i += 1
             while (
@@ -556,6 +706,7 @@ class QueryService:
                 starts[q.query_id] = now
                 verdicts[q.query_id] = bool(res.reachable[j])
                 routes[q.query_id] = "traversal"
+                epochs[q.query_id] = epoch
                 if res.resolved is None or res.resolved[j]:
                     finishes[q.query_id] = now + float(res.resolution_seconds[j])
                 else:
@@ -564,6 +715,8 @@ class QueryService:
             self.clock = now + float(res.virtual_seconds)
             busy += float(res.virtual_seconds)
             num_batches += 1
+            if self.cross_check and getattr(self.session, "is_dynamic", False):
+                self._oracle_check_reach(batch, res, epoch)
         return num_batches, busy
 
     def _assert_matches_traversal(self, sources, targets, index_verdicts):
@@ -603,7 +756,9 @@ class QueryService:
         ):
             return run()
 
-    def _drain_batch(self, queue, starts, finishes, missed) -> tuple[int, float]:
+    def _drain_batch(
+        self, queue, starts, finishes, missed, epochs
+    ) -> tuple[int, float]:
         from repro.core.khop import concurrent_khop
 
         num_batches = 0
@@ -611,6 +766,8 @@ class QueryService:
         i = 0
         while i < len(queue):
             now = max(self.clock, queue[i].arrival)
+            self._apply_due_mutations(now)
+            epoch = self._epoch()
             batch = [queue[i]]
             i += 1
             while (
@@ -633,6 +790,7 @@ class QueryService:
             )
             for j, q in enumerate(batch):
                 starts[q.query_id] = now
+                epochs[q.query_id] = epoch
                 if res.resolved is None or res.resolved[j]:
                     finishes[q.query_id] = now + float(res.completion_seconds[j])
                 else:
@@ -641,13 +799,18 @@ class QueryService:
             self.clock = now + float(res.virtual_seconds)
             busy += float(res.virtual_seconds)
             num_batches += 1
+            if self.cross_check and getattr(self.session, "is_dynamic", False):
+                self._oracle_check_khop(batch, res, epoch)
         return num_batches, busy
 
-    def _drain_pool(self, queue, starts, finishes) -> tuple[int, float]:
+    def _drain_pool(self, queue, starts, finishes, epochs) -> tuple[int, float]:
         busy = 0.0
+        dynamic = getattr(self.session, "is_dynamic", False)
         for q in queue:
             slot = heapq.heappop(self._slots)
             start = max(slot, q.arrival)
+            self._apply_due_mutations(start)
+            epoch = self._epoch()
             service = self.session.khop_service_seconds(
                 q.source, self.k, use_edge_sets=self.use_edge_sets
             )
@@ -655,19 +818,118 @@ class QueryService:
             heapq.heappush(self._slots, finish)
             starts[q.query_id] = start
             finishes[q.query_id] = finish
+            epochs[q.query_id] = epoch
             busy += service
+            if self.cross_check and dynamic:
+                ref = self._oracle_session(epoch).khop_service_seconds(
+                    q.source, self.k, use_edge_sets=self.use_edge_sets
+                )
+                if ref != service:
+                    raise AssertionError(
+                        f"dynamic cross-check failed for pool query "
+                        f"(source {q.source}, k={self.k}, epoch {epoch}): "
+                        f"live service time {service!r} != oracle {ref!r}"
+                    )
         self.clock = max(self.clock, max(finishes[q.query_id] for q in queue))
         return len(queue), busy
 
+    # -- the rebuilt-from-scratch oracle (dynamic cross-check mode) ---------- #
+
+    _ORACLE_CACHE_CAP = 4
+
+    def _oracle_session(self, epoch: int):
+        """An in-process session over the snapshot store's from-scratch
+        partitioning of ``epoch``, sharing the live session's cost model.
+        Small LRU-ish cache: drains revisit at most a few recent epochs."""
+        sess = self._oracle_sessions.get(epoch)
+        if sess is None:
+            from repro.runtime.session import GraphSession
+
+            graph = self.session.snapshots().graph_at(epoch)
+            sess = GraphSession(graph, netmodel=self.session.netmodel)
+            while len(self._oracle_sessions) >= self._ORACLE_CACHE_CAP:
+                self._oracle_sessions.pop(next(iter(self._oracle_sessions)))
+            self._oracle_sessions[epoch] = sess
+        return sess
+
+    def _oracle_check_khop(self, batch, res, epoch: int) -> None:
+        """The mutated graph's answers must be bit-identical — counts,
+        per-query completions AND the batch's virtual clock — to a session
+        rebuilt from scratch at the same epoch.  Off the accounting books."""
+        from repro.core.khop import concurrent_khop
+
+        oracle = self._oracle_session(epoch)
+        ref = concurrent_khop(
+            oracle.pg,
+            [q.source for q in batch],
+            self.k,
+            use_edge_sets=self.use_edge_sets,
+            session=oracle,
+            max_virtual_seconds=self.deadline_seconds,
+        )
+        if (
+            not np.array_equal(res.reached, ref.reached)
+            or not np.array_equal(res.completion_seconds, ref.completion_seconds)
+            or res.virtual_seconds != ref.virtual_seconds
+        ):
+            raise AssertionError(
+                f"dynamic cross-check failed for k-hop batch at epoch "
+                f"{epoch}: live (reached={res.reached}, "
+                f"virt={res.virtual_seconds!r}) != oracle "
+                f"(reached={ref.reached}, virt={ref.virtual_seconds!r})"
+            )
+
+    def _oracle_check_reach(self, batch, res, epoch: int) -> None:
+        oracle = self._oracle_session(epoch)
+        ref = oracle.reach(
+            [q.source for q in batch],
+            [q.target for q in batch],
+            self.k,
+            use_edge_sets=self.use_edge_sets,
+            max_virtual_seconds=self.deadline_seconds,
+        )
+        if (
+            not np.array_equal(res.reachable, ref.reachable)
+            or not np.array_equal(res.resolution_seconds, ref.resolution_seconds)
+            or res.virtual_seconds != ref.virtual_seconds
+        ):
+            raise AssertionError(
+                f"dynamic cross-check failed for reachability batch at "
+                f"epoch {epoch}: live (reachable={res.reachable}, "
+                f"virt={res.virtual_seconds!r}) != oracle "
+                f"(reachable={ref.reachable}, virt={ref.virtual_seconds!r})"
+            )
+
+    def _assert_matches_oracle_index(
+        self, sources, targets, index_verdicts, epoch: int
+    ) -> None:
+        """Index-lane verdicts on a dynamic session must match traversal on
+        the from-scratch oracle graph at the same epoch."""
+        oracle = self._oracle_session(epoch)
+        for i in range(0, sources.size, 64):
+            chunk = slice(i, min(i + 64, sources.size))
+            ref = oracle.reach(sources[chunk], targets[chunk], self.k)
+            if not np.array_equal(ref.reachable, index_verdicts[chunk]):
+                bad = np.nonzero(ref.reachable != index_verdicts[chunk])[0][0]
+                s, t = int(sources[chunk][bad]), int(targets[chunk][bad])
+                raise AssertionError(
+                    f"dynamic cross-check failed for ({s} -> {t}, "
+                    f"k={self.k}, epoch {epoch}): index says "
+                    f"{bool(index_verdicts[chunk][bad])}, oracle traversal "
+                    f"says {bool(ref.reachable[bad])}"
+                )
+
     def _report(
         self, queue, starts, finishes, num_batches, verdicts=None, routes=None,
-        busy_seconds: float = 0.0, missed=None,
+        busy_seconds: float = 0.0, missed=None, epochs=None,
     ) -> ServiceReport:
         by_id = sorted(queue, key=lambda q: q.query_id)
         verdicts = verdicts or {}
         routes = routes or {}
         missed = missed or {}
+        epochs = epochs or {}
         shed, self.shed = self.shed, 0
+        drain_mutations, self._drain_mutations = self._drain_mutations, 0
         ids = np.array([q.query_id for q in by_id], dtype=np.int64)
         return ServiceReport(
             query_ids=ids,
@@ -699,4 +961,12 @@ class QueryService:
             ),
             degraded=bool(getattr(self.session, "degraded", False)),
             shed=shed,
+            epochs=(
+                np.array(
+                    [epochs.get(q.query_id, -1) for q in by_id], dtype=np.int64
+                )
+                if getattr(self.session, "is_dynamic", False)
+                else None
+            ),
+            mutations_applied=drain_mutations,
         )

@@ -42,7 +42,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import DeadlineExceeded, InvalidQueryError, WorkerLost
+from repro.errors import (
+    DeadlineExceeded,
+    InvalidQueryError,
+    MutationError,
+    WorkerLost,
+)
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import PartitionedGraph, range_partition
 from repro.runtime.cluster import Machine, SimCluster
@@ -54,6 +59,32 @@ from repro.runtime.netmodel import NetworkModel
 __all__ = ["GraphSession"]
 
 log = logging.getLogger("repro.runtime.session")
+
+
+class _PatchedIndexBuild:
+    """:class:`~repro.index.build.IndexBuild` facade over a freshly patched
+    :class:`~repro.index.incremental.IncrementalIndex`.
+
+    ``labels`` packs the twin's dicts back into frozen arrays on first
+    access (and freezes the result: later patches go through a new facade,
+    so a held reference keeps the labels it first observed).  This keeps
+    ``apply_mutations`` free of per-batch repack cost when no query reads
+    the index between batches.
+    """
+
+    pruned_visits = 0
+
+    def __init__(self, inc, build_seconds: float, labeled_visits: int):
+        self._inc = inc
+        self.build_seconds = build_seconds
+        self.labeled_visits = labeled_visits
+        self._labels = None
+
+    @property
+    def labels(self):
+        if self._labels is None:
+            self._labels = self._inc.finalize()
+        return self._labels
 
 
 class GraphSession:
@@ -125,6 +156,15 @@ class GraphSession:
         if backend not in ("inproc", "pool"):
             raise ValueError(f"backend must be 'inproc' or 'pool', got {backend!r}")
         self.instr = instrumentation or NULL_INSTRUMENTATION
+        # dynamic-graph state (enabled lazily by dynamic()); initialised
+        # before build_edge_sets below, which consults it
+        self._dynamic = None  # DynamicGraph
+        self._index_epoch = 0  # graph epoch the resident index matches
+        self._inc_index = None  # IncrementalIndex twin of the labels
+        self._index_maintenance = "incremental"
+        self._compact_interval: int | None = None
+        self._index_churn_threshold = 0.02
+        self._mutation_batches = 0
         if isinstance(graph, PartitionedGraph):
             self.pg = graph
         else:
@@ -201,6 +241,14 @@ class GraphSession:
                     seed=self.pool_seed,
                     fault_plan=self.fault_plan,
                     fault_tolerance=self.fault_tolerance,
+                    # Pool deltas are cumulative relative to the base image;
+                    # a pool started after mutations must pack the pristine
+                    # base shards, not the spliced arrays.
+                    base_shards=(
+                        self._dynamic._base_shards
+                        if self._dynamic is not None
+                        else None
+                    ),
                 )
         return self._pool
 
@@ -274,8 +322,182 @@ class GraphSession:
         self, sets_per_partition: int = 8, consolidate_min_edges: int | None = None
     ) -> None:
         """Tile partitions into LLC-sized edge-sets (§3.2), once."""
+        if self._dynamic is not None:
+            raise MutationError(
+                "edge-set mode is a static representation; it cannot be "
+                "combined with a dynamic (mutable) session"
+            )
         if any(p.edge_sets is None for p in self.pg.partitions):
             self.pg.build_edge_sets(sets_per_partition, consolidate_min_edges)
+
+    # -- the dynamic graph (lazy import: dynamic depends on graph only) ----- #
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True once :meth:`dynamic` enabled streaming mutations."""
+        return self._dynamic is not None
+
+    @property
+    def graph_epoch(self) -> int:
+        """The resident graph's version counter (0 for a static session)."""
+        return self._dynamic.epoch if self._dynamic is not None else 0
+
+    @property
+    def index_is_current(self) -> bool:
+        """Whether the resident index (if any) matches the graph epoch."""
+        return self._index_epoch == self.graph_epoch
+
+    def dynamic(
+        self,
+        index_maintenance: str = "incremental",
+        compact_interval: int | None = None,
+        churn_threshold: float = 0.02,
+    ):
+        """Enable streaming mutations; returns the resident
+        :class:`~repro.dynamic.delta.DynamicGraph` (idempotent — the
+        configuration arguments only apply on the first call).
+
+        ``index_maintenance`` controls what happens to a resident hub-label
+        index when mutations land: ``"incremental"`` (default) patches it
+        in place via resumption/repair BFS and falls back to a full
+        rebuild past ``churn_threshold`` cumulative churn; ``"rebuild"``
+        rebuilds fully on every mutated batch; ``"none"`` lets it go stale
+        (the hybrid planner then routes point queries back to traversal).
+        ``compact_interval`` folds the pending delta into a new base every
+        that many mutated batches.
+        """
+        if self._dynamic is None:
+            if index_maintenance not in ("incremental", "rebuild", "none"):
+                raise ValueError(
+                    "index_maintenance must be 'incremental', 'rebuild' "
+                    "or 'none'"
+                )
+            if compact_interval is not None and compact_interval < 1:
+                raise ValueError("compact_interval must be >= 1")
+            if any(p.edge_sets is not None for p in self.pg.partitions):
+                raise MutationError(
+                    "edge-set mode is a static representation; drop it "
+                    "before enabling mutations"
+                )
+            from repro.dynamic.delta import DynamicGraph
+
+            self._dynamic = DynamicGraph(self.pg)
+            self._index_maintenance = index_maintenance
+            self._compact_interval = compact_interval
+            self._index_churn_threshold = float(churn_threshold)
+        return self._dynamic
+
+    def snapshots(self):
+        """A :class:`~repro.dynamic.snapshot.SnapshotStore` replaying any
+        past epoch of the (dynamic) resident graph."""
+        from repro.dynamic.snapshot import SnapshotStore
+
+        return SnapshotStore.of(self.dynamic())
+
+    def apply_mutations(self, inserts=(), deletes=()):
+        """Apply one edge-mutation batch to the resident graph.
+
+        The one write path of the dynamic layer: splices the touched
+        partitions' effective shards in place (advancing the graph epoch),
+        invalidates every epoch-dependent cache, maintains the resident
+        index per the session's maintenance mode, and triggers compaction
+        on the configured interval.  Returns the
+        :class:`~repro.dynamic.delta.MutationResult` (``.changed`` is
+        False — and nothing else happens — for an all-no-op batch).
+        """
+        dg = self.dynamic()
+        # An incremental patch needs the pre-mutation adjacency, so the
+        # index twin must exist before the graph changes underneath it.
+        maintain = (
+            self._index_maintenance == "incremental"
+            and self._index_build is not None
+            and self.index_is_current
+        )
+        if maintain and self._inc_index is None:
+            from repro.index.incremental import IncrementalIndex
+
+            self._inc_index = IncrementalIndex.from_graph(
+                self.index(), self.pg,
+                churn_threshold=self._index_churn_threshold,
+            )
+        with self.instr.span("apply mutations", cat="dynamic"):
+            res = dg.apply(inserts, deletes)
+        if not res.changed:
+            return res
+        self._invalidate_epoch_caches()
+        if self.instr.enabled:
+            if res.inserted.size:
+                self.instr.on_mutation("insert", res.inserted.shape[0])
+            if res.deleted.size:
+                self.instr.on_mutation("delete", res.deleted.shape[0])
+            self.instr.on_epoch(dg.epoch)
+        if self._index_build is not None:
+            if maintain:
+                self._patch_index(res)
+            elif self._index_maintenance == "rebuild":
+                self._rebuild_index_for_epoch()
+            # "none" (or an already-stale index): leave it; consumers must
+            # consult index_is_current before trusting it.
+        self._mutation_batches += 1
+        if (
+            self._compact_interval is not None
+            and self._mutation_batches % self._compact_interval == 0
+        ):
+            self.compact()
+        return res
+
+    def compact(self):
+        """Fold pending deltas into a new base (see
+        :meth:`~repro.dynamic.delta.DynamicGraph.compact`).
+
+        Advances the epoch without changing the graph; the pool is closed
+        because its shm image holds the old base arrays — the next pool
+        batch packs a fresh image from the compacted graph.
+        """
+        dg = self.dynamic()
+        with self.instr.span("compact", cat="dynamic"):
+            res = dg.compact()
+        self._invalidate_epoch_caches()
+        self.close()
+        if self.instr.enabled:
+            self.instr.on_compaction()
+            self.instr.on_epoch(dg.epoch)
+        # Compaction is representation-only: an index current for the
+        # pre-compaction epoch is current for the post-compaction one.
+        if self._index_epoch == res.epoch - 1:
+            self._index_epoch = res.epoch
+        return res
+
+    def _invalidate_epoch_caches(self) -> None:
+        """Drop every cache keyed on (or derived from) the graph's edges."""
+        self._task_cache.clear()
+        self._service_cache.clear()
+        self._undirected_pg = None
+
+    def _patch_index(self, res) -> None:
+        patch = self._inc_index.apply(res.inserted, res.deleted)
+        if patch.needs_rebuild:
+            self._rebuild_index_for_epoch()
+            return
+        self.instr.on_index_patch(patch.entries_patched)
+        # Packing the patched labels back into frozen arrays is deferred
+        # to the first consumer (planner/dist query): a mutation burst
+        # with no interleaved index reads pays one repack, not one per
+        # batch.
+        self._index_build = _PatchedIndexBuild(
+            self._inc_index,
+            build_seconds=patch.seconds,
+            labeled_visits=patch.entries_patched,
+        )
+        self._index_epoch = self.graph_epoch
+
+    def _rebuild_index_for_epoch(self) -> None:
+        from repro.index.build import build_hub_labels
+
+        with self.instr.span("index build", cat="index"):
+            self._index_build = build_hub_labels(self.pg)
+        self._index_epoch = self.graph_epoch
+        self._inc_index = None  # rebuilt from the current graph on demand
 
     # -- the reachability index (lazy import: index depends on graph only) -- #
 
@@ -290,6 +512,8 @@ class GraphSession:
         if self._index_build is None or rebuild:
             with self.instr.span("index build", cat="index"):
                 self._index_build = build_hub_labels(self.pg)
+            self._index_epoch = self.graph_epoch
+            self._inc_index = None
         return self._index_build
 
     def index(self, rebuild: bool = False):
@@ -314,6 +538,8 @@ class GraphSession:
         self._index_build = IndexBuild(
             labels=labels, build_seconds=0.0, labeled_visits=0, pruned_visits=0
         )
+        self._index_epoch = self.graph_epoch
+        self._inc_index = None
 
     def index_planner(self):
         """An :class:`~repro.index.planner.IndexPlanner` over the resident
@@ -393,7 +619,13 @@ class GraphSession:
         for that key on a previous batch is re-armed in place (frontier
         planes zeroed, level counters rewound) instead of reallocated.
         Without them the tasks are rebuilt every call.
+
+        On a dynamic session the graph epoch is joined into the key, so
+        resident task state never straddles two graph versions (the whole
+        cache is also dropped on every epoch advance).
         """
+        if cache_key is not None and self._dynamic is not None:
+            cache_key = cache_key + (self._dynamic.epoch,)
         if cache_key is not None and reset is not None:
             cached = self._task_cache.get(cache_key)
             if cached is not None:
@@ -487,7 +719,24 @@ class GraphSession:
         answers — and the session stays degraded for later batches.  A
         :class:`~repro.errors.WorkerTaskError` (the task itself raised) is
         deterministic and propagates immediately: a retry cannot help.
+
+        On a dynamic session the graph epoch joins the install key, and —
+        while mutations are pending against the base image — ``build`` is
+        wrapped with :func:`~repro.dynamic.delta.build_with_delta` so pool
+        workers splice their attached shard up to the current epoch before
+        building task state.  The shm image itself is only repacked on
+        compaction (which closes the pool).
         """
+        if self._dynamic is not None:
+            cache_key = cache_key + (self._dynamic.epoch,)
+            deltas = self._dynamic.pool_deltas()
+            if deltas is not None:
+                from repro.dynamic.delta import build_with_delta
+
+                build_kwargs = {
+                    "_inner_build": build, "_deltas": deltas, **build_kwargs
+                }
+                build = build_with_delta
         if self._degraded:
             return self._run_batch_degraded(
                 build, build_kwargs, seeds, combiner, max_supersteps,

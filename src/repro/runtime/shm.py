@@ -139,13 +139,20 @@ class _Planner:
 
 
 def build_graph_image(
-    pg: PartitionedGraph, name: str
+    pg: PartitionedGraph, name: str, base_shards=None
 ) -> tuple[shared_memory.SharedMemory, GraphManifest]:
     """Pack a partitioned graph into one named segment (parent side).
 
     Returns the owning :class:`SharedMemory` (caller unlinks on shutdown)
     and the manifest workers use to attach.  Edge-set blocks are not
     shipped — the pool backend expands over CSR only.
+
+    ``base_shards`` (``{part_id: (out_csr, in_csc)}``) overrides the
+    arrays packed for each partition.  A dynamic session passes its
+    pristine base shards here: partition deltas are cumulative relative
+    to the *base* image, so a pool started while mutations are pending
+    must not pack the parent's already-spliced arrays — the worker-side
+    splice would re-apply the delta on top of them.
     """
     planner = _Planner()
     copies: list[tuple[ArraySpec, np.ndarray]] = []
@@ -162,17 +169,24 @@ def build_graph_image(
             weights=None if csr.weights is None else plan(csr.weights),
         )
 
+    def shards_of(p) -> tuple[CSR, CSR]:
+        if base_shards is not None and p.part_id in base_shards:
+            return base_shards[p.part_id]
+        return p.out_csr, p.in_csc
+
     bounds_spec = plan(pg.bounds)
-    part_manifests = [
-        PartitionManifest(
-            part_id=p.part_id,
-            lo=p.lo,
-            hi=p.hi,
-            out_csr=plan_csr(p.out_csr),
-            in_csc=plan_csr(p.in_csc),
+    part_manifests = []
+    for p in pg.partitions:
+        out_csr, in_csc = shards_of(p)
+        part_manifests.append(
+            PartitionManifest(
+                part_id=p.part_id,
+                lo=p.lo,
+                hi=p.hi,
+                out_csr=plan_csr(out_csr),
+                in_csc=plan_csr(in_csc),
+            )
         )
-        for p in pg.partitions
-    ]
     shm = create_segment(name, planner.cursor)
     for spec, arr in copies:
         view_array(shm.buf, spec, writeable=True)[...] = arr

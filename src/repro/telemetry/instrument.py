@@ -122,6 +122,22 @@ class Instrumentation:
             "cgraph_deadline_missed_total",
             "queries left unresolved at the batch deadline",
         )
+        self._mutations = m.counter(
+            "cgraph_mutations_total",
+            "edge mutations applied to the resident graph",
+            ("kind",),
+        )
+        self._compactions = m.counter(
+            "cgraph_compactions_total",
+            "delta-into-base compactions of the resident graph",
+        )
+        self._index_patches = m.counter(
+            "cgraph_index_patches_total",
+            "label entries patched by incremental index maintenance",
+        )
+        self._epoch = m.gauge(
+            "cgraph_graph_epoch", "resident graph version counter"
+        )
 
     # -- spans --------------------------------------------------------------- #
 
@@ -257,6 +273,20 @@ class Instrumentation:
     def on_deadline_miss(self, count: int = 1) -> None:
         self._deadline_missed.inc(count)
 
+    # -- dynamic-graph hooks -------------------------------------------------- #
+
+    def on_mutation(self, kind: str, count: int = 1) -> None:
+        self._mutations.inc(count, kind=kind)
+
+    def on_compaction(self) -> None:
+        self._compactions.inc()
+
+    def on_index_patch(self, entries: int) -> None:
+        self._index_patches.inc(entries)
+
+    def on_epoch(self, epoch: int) -> None:
+        self._epoch.set(float(epoch))
+
 
 class NullInstrumentation(Instrumentation):
     """The default: every hook is a no-op and ``enabled`` is False.
@@ -308,6 +338,18 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def on_deadline_miss(self, *args, **kwargs) -> None:
+        pass
+
+    def on_mutation(self, *args, **kwargs) -> None:
+        pass
+
+    def on_compaction(self, *args, **kwargs) -> None:
+        pass
+
+    def on_index_patch(self, *args, **kwargs) -> None:
+        pass
+
+    def on_epoch(self, *args, **kwargs) -> None:
         pass
 
 

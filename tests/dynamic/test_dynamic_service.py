@@ -1,0 +1,161 @@
+"""QueryService mutation lane: interleaving, epochs, routing, cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MutationError
+from repro.runtime.scheduler import QueryService
+from repro.runtime.session import GraphSession
+
+from tests.dynamic.conftest import existing_edges, fresh_edges
+
+
+def _roots(graph, count):
+    return [int(v) for v in graph.src[:count]]
+
+
+class TestMutationLane:
+    def test_static_session_rejected(self, dyn_graph):
+        svc = QueryService(GraphSession(dyn_graph, num_machines=2), k=2)
+        with pytest.raises(MutationError):
+            svc.apply_mutations([(0, 1)], [])
+
+    def test_immediate_apply(self, dyn_session, edge_keys, rng):
+        svc = QueryService(dyn_session, k=2)
+        n = dyn_session.num_vertices
+        res = svc.apply_mutations(fresh_edges(rng, n, edge_keys, 2), [])
+        assert res.changed
+        assert res.epoch == 1 == dyn_session.graph_epoch
+        assert svc.mutations_applied == 1
+
+    def test_queued_mutations_interleave(self, dyn_session, edge_keys, rng):
+        # One query before the mutation's arrival, one far after: the
+        # mutation must apply between them, and each query's recorded
+        # epoch says which graph version served it.
+        svc = QueryService(dyn_session, k=2)
+        n = dyn_session.num_vertices
+        early, late = _roots(dyn_session.pg.edges, 2)
+        svc.submit(early, arrival=0.0)
+        svc.submit(late, arrival=1e6)
+        assert (
+            svc.apply_mutations(
+                fresh_edges(rng, n, edge_keys, 2), [], arrival=1.0
+            )
+            is None
+        )
+        assert svc.num_pending_mutations == 1
+        rep = svc.drain()
+        assert rep.mutations_applied == 1
+        assert svc.num_pending_mutations == 0
+        np.testing.assert_array_equal(rep.epochs, [0, 1])
+        assert dyn_session.graph_epoch == 1
+
+    def test_compaction_mid_drain(self, dyn_graph, edge_keys, rng):
+        sess = GraphSession(dyn_graph, num_machines=2)
+        dg = sess.dynamic(compact_interval=1, churn_threshold=10.0)
+        svc = QueryService(sess, k=2)
+        n = sess.num_vertices
+        a, b = _roots(dyn_graph, 2)
+        svc.submit(a, arrival=0.0)
+        svc.submit(b, arrival=1e6)
+        # Two mutation batches due before the second query batch; with
+        # compact_interval=1 each triggers a compaction, so the epoch
+        # advances by four (mutation + compaction, twice).
+        svc.apply_mutations(fresh_edges(rng, n, edge_keys, 1), [], arrival=0.5)
+        svc.apply_mutations([], existing_edges(rng, n, edge_keys, 1),
+                            arrival=0.6)
+        rep = svc.drain()
+        assert rep.mutations_applied == 2
+        assert dg.compactions == 2
+        assert dg.num_pending == 0
+        assert dg.epoch == 4
+        np.testing.assert_array_equal(rep.epochs, [0, 4])
+
+
+class TestCrossCheck:
+    def test_interleaved_drain_passes_oracle(self, dyn_session, edge_keys, rng):
+        # cross_check on a dynamic session replays every dispatched batch
+        # on a rebuilt-from-scratch graph at the batch's epoch and raises
+        # on any answer/clock divergence.
+        svc = QueryService(dyn_session, k=2, cross_check=True)
+        n = dyn_session.num_vertices
+        roots = _roots(dyn_session.pg.edges, 4)
+        for i, r in enumerate(roots):
+            svc.submit(r, arrival=float(i) * 1e6)
+        svc.apply_mutations(fresh_edges(rng, n, edge_keys, 2),
+                            existing_edges(rng, n, edge_keys, 1),
+                            arrival=1.5e6)
+        rep = svc.drain()
+        assert rep.num_queries == 4
+        assert rep.mutations_applied == 1
+        assert rep.epochs.min() == 0 and rep.epochs.max() == 1
+
+
+class TestHybridRouting:
+    def test_stale_index_falls_back_to_traversal(
+        self, dyn_graph, edge_keys, rng
+    ):
+        sess = GraphSession(dyn_graph, num_machines=2)
+        sess.dynamic(index_maintenance="none")
+        sess.index()
+        svc = QueryService(sess, k=3, planner="hybrid")
+        n = sess.num_vertices
+        u = _roots(dyn_graph, 1)[0]
+        v = int(dyn_graph.dst[0])
+
+        svc.submit(u, target=v)
+        rep = svc.drain()
+        assert list(rep.routes) == ["index"]
+
+        # Mutating without maintenance leaves the index stale; the planner
+        # must stop trusting it and route point queries to traversal.
+        svc.apply_mutations(fresh_edges(rng, n, edge_keys, 1), [])
+        assert not sess.index_is_current
+        svc.submit(u, target=v)
+        rep = svc.drain()
+        assert list(rep.routes) == ["traversal"]
+
+
+class TestPoolBackend:
+    def test_pool_parity_with_compaction(self, dyn_graph, edge_keys, rng):
+        # The shm pool must survive mutations and a mid-drain compaction
+        # (which retires its graph image) without degrading to inproc —
+        # cross_check asserts answers and clocks against the oracle.
+        with GraphSession(dyn_graph, num_machines=2, backend="pool") as sess:
+            sess.dynamic(compact_interval=1, churn_threshold=10.0)
+            svc = QueryService(sess, k=2, cross_check=True)
+            n = sess.num_vertices
+            a, b = _roots(dyn_graph, 2)
+            svc.submit(a, arrival=0.0)
+            svc.submit(b, arrival=1e6)
+            svc.apply_mutations(fresh_edges(rng, n, edge_keys, 2),
+                                existing_edges(rng, n, edge_keys, 1),
+                                arrival=0.5)
+            rep = svc.drain()
+            assert not rep.degraded
+            assert rep.mutations_applied == 1
+            assert sess.dynamic().compactions == 1
+            np.testing.assert_array_equal(rep.epochs, [0, 2])
+
+    def test_pool_started_mid_delta_packs_base_image(
+        self, dyn_graph, edge_keys, rng
+    ):
+        # Regression: the pool is started lazily, so its shm image can be
+        # packed while mutations are already pending.  Partition deltas
+        # are cumulative relative to the *base* image — packing the
+        # parent's spliced arrays made workers re-apply the delta on top
+        # (duplicate edges skewing the virtual clock) and kept an insert
+        # resident in the image even after a later delete cancelled it.
+        with GraphSession(dyn_graph, num_machines=2, backend="pool") as sess:
+            sess.dynamic(churn_threshold=10.0)
+            svc = QueryService(sess, k=3, cross_check=True)
+            n = sess.num_vertices
+            (edge,) = fresh_edges(rng, n, edge_keys, 1)
+            sess.apply_mutations([edge], [])  # pending before the pool exists
+            svc.submit(int(edge[0]), arrival=0.0)
+            svc.drain()  # first pool batch packs the image mid-delta
+            sess.apply_mutations([], [edge])  # cancel the pre-pack insert
+            svc.submit(int(edge[0]), arrival=1e6)
+            rep = svc.drain()  # oracle cross-check: answers and clocks
+            assert not rep.degraded
+            assert sess.graph_epoch == 2

@@ -1,0 +1,176 @@
+"""Incremental 2-hop index maintenance: exactness, budgets, repacking."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeList, range_partition, rmat_edges
+from repro.index.build import build_hub_labels
+from repro.index.incremental import IncrementalIndex
+
+from tests.dynamic.conftest import existing_edges, fresh_edges
+
+
+def _pairs(edges):
+    return {(int(u), int(v)) for u, v in zip(edges.src, edges.dst)}
+
+
+def _bfs_matrix(pairs, n):
+    """All-pairs hop distances (-1 unreachable) from an edge-pair set."""
+    adj = [[] for _ in range(n)]
+    for u, v in pairs:
+        adj[u].append(v)
+    out = np.full((n, n), -1, dtype=np.int64)
+    for s in range(n):
+        out[s, s] = 0
+        q = deque([s])
+        while q:
+            u = q.popleft()
+            for v in adj[u]:
+                if out[s, v] < 0:
+                    out[s, v] = out[s, u] + 1
+                    q.append(v)
+    return out
+
+
+def _arr(pairs):
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.array(pairs, dtype=np.int64)
+
+
+class TestExactness:
+    def test_mixed_batches_match_bfs_oracle(self, rng):
+        el = rmat_edges(7, 1200, seed=3).remove_self_loops().deduplicate()
+        n = el.num_vertices
+        pg = range_partition(el, 2)
+        inc = IncrementalIndex.from_graph(
+            build_hub_labels(pg).labels, pg,
+            churn_threshold=10.0, region_threshold=1.1,
+        )
+        current = {int(u) * n + int(v) for u, v in zip(el.src, el.dst)}
+        live = _pairs(el)
+        src, dst = np.divmod(np.arange(n * n, dtype=np.int64), n)
+        for _ in range(3):
+            # Keep the batch's inserts and deletes disjoint: the index
+            # patch API takes *netted* batches (DynamicGraph.apply nets
+            # out insert-then-delete of the same edge before handing the
+            # result to the index).
+            dels = existing_edges(rng, n, current, 4)
+            guard = current | {u * n + v for u, v in dels}
+            ins = fresh_edges(rng, n, guard, 5)
+            current |= {u * n + v for u, v in ins}
+            res = inc.apply(_arr(ins), _arr(dels))
+            assert not res.needs_rebuild
+            live = (live - set(dels)) | set(ins)
+            got = inc.finalize().dist_many(src, dst).reshape(n, n)
+            np.testing.assert_array_equal(got, _bfs_matrix(live, n))
+
+    def test_insert_only_patch_matches_rebuild(self, dyn_graph, rng):
+        n = dyn_graph.num_vertices
+        pg = range_partition(dyn_graph, 2)
+        inc = IncrementalIndex.from_graph(build_hub_labels(pg).labels, pg)
+        current = {
+            int(u) * n + int(v)
+            for u, v in zip(dyn_graph.src, dyn_graph.dst)
+        }
+        ins = fresh_edges(rng, n, current, 10)
+        res = inc.apply(_arr(ins), _arr([]))
+        assert not res.needs_rebuild
+        assert res.entries_patched > 0
+        arr = np.array(sorted(current), dtype=np.int64)
+        rebuilt = build_hub_labels(
+            range_partition(EdgeList(arr // n, arr % n, n), 2)
+        ).labels
+        s = rng.integers(0, n, size=2048)
+        t = rng.integers(0, n, size=2048)
+        np.testing.assert_array_equal(
+            inc.finalize().dist_many(s, t), rebuilt.dist_many(s, t)
+        )
+
+
+class TestBudgets:
+    def test_churn_threshold_trips_rebuild(self, dyn_graph):
+        pg = range_partition(dyn_graph, 2)
+        inc = IncrementalIndex.from_graph(
+            build_hub_labels(pg).labels, pg, churn_threshold=0.0
+        )
+        res = inc.apply(_arr([(0, 1)]), _arr([]))
+        assert res.needs_rebuild
+
+    def test_region_threshold_trips_on_delete(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 2), (2, 3)], num_vertices=4)
+        pg = range_partition(el, 1)
+        inc = IncrementalIndex.from_graph(
+            build_hub_labels(pg).labels, pg, region_threshold=0.0
+        )
+        res = inc.apply(_arr([]), _arr([(1, 2)]))
+        assert res.needs_rebuild
+
+
+class TestRepack:
+    def test_clean_finalize_reuses_arrays(self, dyn_graph):
+        pg = range_partition(dyn_graph, 2)
+        inc = IncrementalIndex.from_graph(build_hub_labels(pg).labels, pg)
+        first = inc.finalize()
+        second = inc.finalize()
+        # No dirty rows: finalize hands back the cached packed arrays.
+        assert second.out_hubs is first.out_hubs
+        assert second.in_hubs is first.in_hubs
+
+    def test_dirty_rows_repacked_once(self, dyn_graph, rng):
+        n = dyn_graph.num_vertices
+        pg = range_partition(dyn_graph, 2)
+        inc = IncrementalIndex.from_graph(build_hub_labels(pg).labels, pg)
+        base = inc.finalize()
+        current = {
+            int(u) * n + int(v)
+            for u, v in zip(dyn_graph.src, dyn_graph.dst)
+        }
+        inc.apply(_arr(fresh_edges(rng, n, current, 2)), _arr([]))
+        patched = inc.finalize()
+        # A fresh edge always changes at least one label side (its repack
+        # replaces that side's arrays); untouched sides keep theirs.
+        assert (
+            patched.out_hubs is not base.out_hubs
+            or patched.in_hubs is not base.in_hubs
+        )
+        again = inc.finalize()
+        assert again.out_hubs is patched.out_hubs
+        assert again.in_hubs is patched.in_hubs
+
+
+class TestSessionIntegration:
+    def test_patch_keeps_index_current(self, dyn_session, edge_keys, rng):
+        dg = dyn_session.dynamic()
+        n = dg.num_vertices
+        dyn_session.index()
+        assert dyn_session.index_is_current
+        # Mutations must flow through the session's write path for index
+        # maintenance to happen; DynamicGraph.apply alone only moves the
+        # graph.
+        dyn_session.apply_mutations(fresh_edges(rng, n, edge_keys, 3),
+                                    existing_edges(rng, n, edge_keys, 2))
+        assert dyn_session.index_is_current
+        # The patched resident index answers like a from-scratch build of
+        # the mutated graph.
+        rebuilt = build_hub_labels(
+            dyn_session.snapshots().graph_at(dg.epoch)
+        ).labels
+        s = rng.integers(0, n, size=1024)
+        t = rng.integers(0, n, size=1024)
+        np.testing.assert_array_equal(
+            dyn_session.index().dist_many(s, t), rebuilt.dist_many(s, t)
+        )
+
+    def test_maintenance_none_goes_stale(self, dyn_graph, edge_keys, rng):
+        from repro.runtime.session import GraphSession
+
+        sess = GraphSession(dyn_graph, num_machines=2)
+        dg = sess.dynamic(index_maintenance="none")
+        sess.index()
+        sess.apply_mutations(
+            fresh_edges(rng, dg.num_vertices, edge_keys, 1), []
+        )
+        assert not sess.index_is_current
