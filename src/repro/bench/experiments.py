@@ -41,6 +41,7 @@ from repro.graph import rmat_edges
 from repro.graph.analysis import effective_diameter, hop_plot
 from repro.graph.datasets import DATASETS, dataset_table, load_dataset, runtime_scale
 from repro.graph.partition import PartitionedGraph, range_partition
+from repro.qos import LaneSpec, QosConfig, ResultCache
 from repro.runtime.netmodel import NetworkModel
 from repro.runtime.scheduler import QueryScheduler, QueryService
 from repro.runtime.session import GraphSession
@@ -73,6 +74,7 @@ __all__ = [
     "push_pull",
     "recovery_overhead",
     "dynamic_churn",
+    "qos_isolation",
 ]
 
 PAPER_BINS = np.arange(0.0, 2.2, 0.2)  # the Fig 11/12 histogram bins (seconds)
@@ -2092,3 +2094,319 @@ def dynamic_churn(
         rebuild_wall_s=walls["rebuild"],
         pairs_checked=num_pairs,
     )
+
+
+@dataclass
+class QosIsolationResult:
+    """SLO isolation under WFQ lanes plus the result cache's two gates.
+
+    Phase A (virtual time): the same bulk-saturated trace drained FIFO and
+    under weighted-fair lanes — the headline is ``isolation_speedup``
+    (interactive p99, FIFO over WFQ) at ``throughput_ratio`` ≈ 1 with
+    answers asserted bit-identical inside the driver.  Phase B (wall
+    clock): the cache hit path against the index lane it short-circuits,
+    plus the staleness sweep — every epoch advance must invalidate, and
+    the cross-checked replay drain must never serve a stale verdict.
+    """
+
+    num_vertices: int
+    num_edges: int
+    num_machines: int
+    k: int
+    num_bulk: int
+    num_interactive: int
+    fifo_interactive_p99: float
+    qos_interactive_p99: float
+    fifo_bulk_p99: float
+    qos_bulk_p99: float
+    fifo_clock: float
+    qos_clock: float
+    cache_queries: int
+    index_wall_s: float
+    cache_wall_s: float
+    cache_hit_ratio: float
+    cache_invalidated: int
+    epochs_crossed: int
+
+    @property
+    def isolation_speedup(self) -> float:
+        """Interactive p99 improvement of WFQ lanes over the FIFO drain."""
+        return self.fifo_interactive_p99 / max(self.qos_interactive_p99, 1e-30)
+
+    @property
+    def throughput_ratio(self) -> float:
+        """QoS throughput over FIFO throughput (1.0 = parity).
+
+        Both drains complete the identical trace, so queries/virtual-second
+        reduces to the clock ratio: priority for the interactive lane must
+        come from *reordering*, not from shedding bulk work.
+        """
+        return self.fifo_clock / max(self.qos_clock, 1e-30)
+
+    @property
+    def cache_speedup(self) -> float:
+        """Wall-clock ratio: index-lane answer over cache hit, same wave."""
+        return self.index_wall_s / max(self.cache_wall_s, 1e-30)
+
+    @property
+    def rows(self) -> list[dict]:
+        us = 1e6
+        return [
+            {
+                "phase": "scheduling",
+                "variant": "fifo",
+                "interactive_p99_ms": round(1e3 * self.fifo_interactive_p99, 3),
+                "bulk_p99_ms": round(1e3 * self.fifo_bulk_p99, 3),
+                "clock_s": round(self.fifo_clock, 6),
+                "speedup": 1.0,
+            },
+            {
+                "phase": "scheduling",
+                "variant": "wfq-lanes",
+                "interactive_p99_ms": round(1e3 * self.qos_interactive_p99, 3),
+                "bulk_p99_ms": round(1e3 * self.qos_bulk_p99, 3),
+                "clock_s": round(self.qos_clock, 6),
+                "speedup": round(self.isolation_speedup, 2),
+            },
+            {
+                "phase": "cache",
+                "variant": "index-lane",
+                "wall_us_per_query": round(
+                    us * self.index_wall_s / self.cache_queries, 3
+                ),
+                "hit_ratio": 0.0,
+                "speedup": 1.0,
+            },
+            {
+                "phase": "cache",
+                "variant": "cache-hit",
+                "wall_us_per_query": round(
+                    us * self.cache_wall_s / self.cache_queries, 3
+                ),
+                "hit_ratio": round(self.cache_hit_ratio, 3),
+                "speedup": round(self.cache_speedup, 2),
+            },
+        ]
+
+    def report(self) -> str:
+        rows = self.rows
+        sched = format_table(
+            [
+                {key: r[key] for key in r if key != "phase"}
+                for r in rows
+                if r["phase"] == "scheduling"
+            ],
+            title=(
+                f"QoS isolation: {self.num_bulk} bulk + "
+                f"{self.num_interactive} interactive point queries (k={self.k}) "
+                f"on RMAT n={self.num_vertices} m={self.num_edges}, "
+                f"{self.num_machines} machines"
+            ),
+        )
+        cache = format_table(
+            [
+                {key: r[key] for key in r if key != "phase"}
+                for r in rows
+                if r["phase"] == "cache"
+            ],
+            title=f"Result cache: {self.cache_queries} repeated point queries",
+        )
+        return (
+            f"{sched}\n"
+            f"interactive p99 speedup {self.isolation_speedup:.1f}x at "
+            f"{self.throughput_ratio:.2f}x throughput, answers bit-identical\n"
+            f"\n{cache}\n"
+            f"cache hit path {self.cache_speedup:.1f}x faster than the index "
+            f"lane; {self.cache_invalidated} entries invalidated across "
+            f"{self.epochs_crossed} epoch advances, zero stale verdicts "
+            f"(cross-checked)"
+        )
+
+
+def qos_isolation(
+    vertex_scale: int = 12,
+    num_edges: int = 16_000,
+    num_machines: int = 2,
+    k: int = 3,
+    num_bulk: int = 2688,
+    num_interactive: int = 12,
+    cache_queries: int = 512,
+    repeats: int = 5,
+    seed: int = 23,
+    scale: float | None = None,
+) -> QosIsolationResult:
+    """Benchmark the QoS layer's two promises: isolation and cheap repeats.
+
+    **Phase A — SLO isolation.**  A saturating bulk-tenant burst (all
+    arrivals at 0) plus a trickle of interactive queries arriving while the
+    backlog drains, run twice on twin sessions: once FIFO, once under
+    weighted-fair lanes (interactive 8:1 with a short batch cap).  FIFO
+    serves strictly by arrival, so every interactive query waits out the
+    entire bulk backlog; WFQ dispatches it after at most one in-flight bulk
+    batch.  The driver asserts the two reports' verdicts are bit-identical
+    — reordering may never change an answer.
+
+    **Phase B — result cache.**  On a dynamic session with a resident
+    index, the same point wave is served twice through a cache-fronted
+    hybrid service (miss wave, then hit wave — verdicts asserted equal),
+    and the wall-clock of the two serving paths inside the index lane is
+    measured head-to-head: ``planner.answer`` versus ``cache.lookup_many``.
+    A staleness sweep then advances the graph epoch between replays of one
+    wave under ``cross_check=True``: every hit is re-executed against the
+    live index, and verdicts are additionally asserted against a
+    from-scratch traversal at each epoch.
+    """
+    if scale is not None:
+        s = max(scale, 1e-9)
+        while s <= 0.5 and vertex_scale > 9:
+            vertex_scale -= 1
+            s *= 2
+        num_edges = max(int(num_edges * scale), 2_000)
+        num_bulk = max(int(num_bulk * scale), 512)
+        num_interactive = max(int(num_interactive * scale), 6)
+        cache_queries = max(int(cache_queries * scale), 128)
+    el = rmat_edges(
+        vertex_scale, num_edges, seed=seed
+    ).remove_self_loops().deduplicate()
+    n = el.num_vertices
+    rng = np.random.default_rng(seed + 1)
+    bulk_src = rng.integers(0, n, num_bulk)
+    bulk_dst = rng.integers(0, n, num_bulk)
+    int_src = rng.integers(0, n, num_interactive)
+    int_dst = rng.integers(0, n, num_interactive)
+
+    # -- Phase A: FIFO vs weighted-fair lanes on the identical trace ----- #
+    # Probe the bulk-only makespan first so interactive arrivals land
+    # mid-backlog (the regime the SLO gate is about), not before or after.
+    probe = QueryService(
+        GraphSession(el, num_machines=num_machines), k=k, planner="traversal"
+    )
+    probe.submit_many(bulk_src, targets=bulk_dst, lane="bulk", tenant="crawler")
+    backlog = probe.drain().clock_seconds
+    arrivals = np.linspace(0.05 * backlog, 0.75 * backlog, num_interactive)
+
+    qos_cfg = QosConfig(
+        lanes={
+            "interactive": LaneSpec(weight=8.0, batch_width=8),
+            "bulk": LaneSpec(weight=1.0),
+        },
+    )
+    reports = {}
+    for name, qos in (("fifo", None), ("wfq", qos_cfg)):
+        svc = QueryService(
+            GraphSession(el, num_machines=num_machines),
+            k=k,
+            planner="traversal",
+            qos=qos,
+        )
+        svc.submit_many(bulk_src, targets=bulk_dst, lane="bulk", tenant="crawler")
+        svc.submit_many(
+            int_src, arrivals, targets=int_dst,
+            lane="interactive", tenant="frontend",
+        )
+        reports[name] = svc.drain()
+    fifo, wfq = reports["fifo"], reports["wfq"]
+    if not np.array_equal(fifo.reachable, wfq.reachable):
+        raise AssertionError(
+            "WFQ reordering changed query verdicts vs the FIFO drain"
+        )
+
+    # -- Phase B: cache hit path vs index lane, then the staleness sweep -- #
+    sess = GraphSession(el, num_machines=num_machines)
+    sess.dynamic(index_maintenance="incremental")
+    planner = sess.index_planner()  # resident index, built once
+    cq_src = rng.integers(0, n, cache_queries)
+    cq_dst = rng.integers(0, n, cache_queries)
+    cache = ResultCache(capacity=4 * cache_queries)
+    svc = QueryService(sess, k=k, planner="hybrid", cache=cache)
+    svc.submit_many(cq_src, targets=cq_dst)
+    miss_wave = svc.drain()  # populates the cache
+    svc.submit_many(cq_src, targets=cq_dst)
+    hit_wave = svc.drain()
+    if int(hit_wave.cache_hits) != cache_queries:
+        raise AssertionError(
+            f"repeat wave should be all hits, got {hit_wave.cache_hits}"
+        )
+    if not np.array_equal(miss_wave.reachable, hit_wave.reachable):
+        raise AssertionError("cache replay changed verdicts")
+
+    # Head-to-head wall clock of the two serving paths _index_group picks
+    # between: a fresh index answer vs a cache probe for the same wave.
+    epoch = sess.graph_epoch
+    index_wall = min(
+        _timed(lambda: planner.answer(cq_src, cq_dst, k))
+        for _ in range(repeats)
+    )
+    cache_wall = float("inf")
+    for _ in range(repeats):
+        wall, (verdicts, hit_mask) = _timed_value(
+            lambda: cache.lookup_many(cq_src, cq_dst, k, epoch)
+        )
+        cache_wall = min(cache_wall, wall)
+        if not hit_mask.all():
+            raise AssertionError("warm cache missed on the timed wave")
+        if not np.array_equal(
+            verdicts.astype(np.int8), hit_wave.reachable.astype(np.int8)
+        ):
+            raise AssertionError("cached verdicts diverge from the hit wave")
+
+    # Staleness sweep (off the clock): replay one wave across epoch
+    # advances with every hit cross-checked against the live index, and
+    # verdicts asserted against a from-scratch traversal at each epoch.
+    stale_cache = ResultCache(capacity=4 * cache_queries, cross_check=True)
+    stale_svc = QueryService(sess, k=k, planner="hybrid", cache=stale_cache)
+    live_edges = set(
+        int(u) * n + int(v) for u, v in zip(el.src.tolist(), el.dst.tolist())
+    )
+    epoch0 = sess.graph_epoch
+    sub_src, sub_dst = cq_src[:64], cq_dst[:64]
+    for _ in range(3):
+        stale_svc.submit_many(sub_src, targets=sub_dst)
+        rep = stale_svc.drain()  # cross_check raises on any stale verdict
+        oracle = sess.reach(sub_src, sub_dst, k)
+        if not np.array_equal(
+            rep.reachable.astype(bool), oracle.reachable.astype(bool)
+        ):
+            raise AssertionError(
+                "cached service verdicts diverge from a live traversal"
+            )
+        inserts = []
+        while len(inserts) < 4:
+            u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if u != v and u * n + v not in live_edges:
+                inserts.append((u, v))
+                live_edges.add(u * n + v)
+        stale_svc.apply_mutations(inserts)
+
+    return QosIsolationResult(
+        num_vertices=n,
+        num_edges=el.num_edges,
+        num_machines=num_machines,
+        k=k,
+        num_bulk=num_bulk,
+        num_interactive=num_interactive,
+        fifo_interactive_p99=fifo.p99(lane="interactive"),
+        qos_interactive_p99=wfq.p99(lane="interactive"),
+        fifo_bulk_p99=fifo.p99(lane="bulk"),
+        qos_bulk_p99=wfq.p99(lane="bulk"),
+        fifo_clock=fifo.clock_seconds,
+        qos_clock=wfq.clock_seconds,
+        cache_queries=cache_queries,
+        index_wall_s=index_wall,
+        cache_wall_s=cache_wall,
+        cache_hit_ratio=cache.hit_ratio,
+        cache_invalidated=stale_cache.invalidated,
+        epochs_crossed=sess.graph_epoch - epoch0,
+    )
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _timed_value(fn):
+    t0 = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - t0, value

@@ -55,6 +55,7 @@ EXPERIMENTS = {
     "recovery-overhead": "recovery_overhead",
     "push-pull": "push_pull",
     "dynamic-churn": "dynamic_churn",
+    "qos-isolation": "qos_isolation",
 }
 
 
@@ -168,6 +169,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="edge-stream file ('+/- u v [arrival]' lines) "
                         "replayed through the drain, interleaved with the "
                         "query batches (enables the dynamic graph layer)")
+    p.add_argument("--lanes", default=None,
+                   help="enable QoS weighted fair queueing: "
+                        "'name=weight[:width],...' lane specs, e.g. "
+                        "'interactive=8,bulk=1:32'")
+    p.add_argument("--tenant-quota", action="append", default=None,
+                   metavar="TENANT=RATE[:BURST]",
+                   help="token-bucket quota for one tenant (tokens per "
+                        "virtual second); repeatable")
+    p.add_argument("--affinity", choices=["partition", "none"],
+                   default="partition",
+                   help="QoS batch packing: group queries whose seeds share "
+                        "a partition into the same wide-BFS words")
+    p.add_argument("--bulk-frac", type=float, default=0.0,
+                   help="fraction of queries submitted on the 'bulk' lane "
+                        "as tenant 'bulk' (QoS demo traffic mix)")
+    p.add_argument("--cache", type=int, default=None, metavar="CAPACITY",
+                   help="LRU result cache (entries) in front of the index "
+                        "lane, keyed (source, target, k, graph epoch); "
+                        "requires --planner hybrid")
 
     p = sub.add_parser(
         "mutate",
@@ -438,6 +458,29 @@ def cmd_service(args, out) -> int:
         raise SystemExit("repro service: --batch-width must be in [1, 64]")
     if not 0.0 <= args.reach_frac <= 1.0:
         raise SystemExit("repro service: --reach-frac must be in [0, 1]")
+    if not 0.0 <= args.bulk_frac <= 1.0:
+        raise SystemExit("repro service: --bulk-frac must be in [0, 1]")
+    qos = None
+    if args.lanes or args.tenant_quota:
+        from repro.qos import QosConfig
+
+        try:
+            qos = QosConfig.from_cli(
+                args.lanes, args.tenant_quota, affinity=args.affinity
+            )
+        except ValueError as exc:
+            raise SystemExit(f"repro service: {exc}")
+        if args.bulk_frac > 0.0 and "bulk" not in qos.lanes:
+            raise SystemExit(
+                "repro service: --bulk-frac needs a 'bulk' lane in --lanes"
+            )
+    cache = None
+    if args.cache is not None:
+        if args.planner != "hybrid":
+            raise SystemExit("repro service: --cache requires --planner hybrid")
+        from repro.qos import ResultCache
+
+        cache = ResultCache(capacity=args.cache, cross_check=args.cross_check)
     instr = None
     if args.trace_out or args.metrics_out:
         from repro.telemetry import Instrumentation
@@ -474,6 +517,8 @@ def cmd_service(args, out) -> int:
             None if args.deadline_ms is None else args.deadline_ms / 1e3
         ),
         max_pending=args.max_pending,
+        qos=qos,
+        cache=cache,
     )
     for b in mutation_batches:
         svc.apply_mutations(b.inserts, b.deletes, arrival=b.arrival)
@@ -481,11 +526,17 @@ def cmd_service(args, out) -> int:
     rng = np.random.default_rng(args.seed)
     arrivals = np.cumsum(rng.exponential(1.0 / args.rate, size=args.queries))
     num_point = int(round(args.reach_frac * args.queries))
-    if num_point:
-        targets = rng.integers(0, el.num_vertices, size=num_point)
-        svc.submit_many(roots[:num_point], arrivals[:num_point], targets)
-    if num_point < args.queries:
-        svc.submit_many(roots[num_point:], arrivals[num_point:])
+    targets = (
+        rng.integers(0, el.num_vertices, size=num_point) if num_point else None
+    )
+    num_bulk = int(round(args.bulk_frac * args.queries))
+    for i in range(args.queries):
+        lane = tenant = "bulk" if i < num_bulk else None
+        svc.submit(
+            int(roots[i]), float(arrivals[i]),
+            target=int(targets[i]) if i < num_point else None,
+            lane=lane, tenant=tenant,
+        )
     rep = svc.drain()
     resp = rep.response_seconds * 1e3
     routed_index = int(np.count_nonzero(rep.routes == "index"))
@@ -495,8 +546,8 @@ def cmd_service(args, out) -> int:
           f"{num_point} point / {args.queries - num_point} enumeration, "
           f"{routed_index} index-routed)",
           file=out)
-    print(f"  response ms: mean {resp.mean():9.3f}  p50 {rep.p50 * 1e3:9.3f}  "
-          f"p95 {rep.p95 * 1e3:9.3f}  p99 {rep.p99 * 1e3:9.3f}  "
+    print(f"  response ms: mean {resp.mean():9.3f}  p50 {rep.p50() * 1e3:9.3f}  "
+          f"p95 {rep.p95() * 1e3:9.3f}  p99 {rep.p99() * 1e3:9.3f}  "
           f"max {resp.max():9.3f}", file=out)
     print(f"  queueing ms: mean {rep.queueing_seconds.mean() * 1e3:9.3f}", file=out)
     print(f"  clock at drain end: {svc.clock * 1e3:.3f} ms "
@@ -509,6 +560,18 @@ def cmd_service(args, out) -> int:
         )
         print(f"  deadline {args.deadline_ms:g} ms: {n_missed} missed "
               f"(best-effort answers), {rep.shed} shed", file=out)
+    if qos is not None:
+        lane_bits = "  ".join(
+            f"{name}: n={rep.lane_queries(name)} "
+            f"p99 {rep.p99(lane=name) * 1e3:.3f} ms"
+            for name in sorted(qos.lanes)
+            if rep.lane_queries(name)
+        )
+        print(f"  lanes: {lane_bits}; throttled {rep.throttled}", file=out)
+    if cache is not None:
+        print(f"  cache: {rep.cache_hits} hits / {rep.cache_misses} misses "
+              f"(hit ratio {cache.hit_ratio:.2f}, "
+              f"{len(cache)}/{cache.capacity} resident)", file=out)
     if args.mutations:
         print(f"  mutations: {rep.mutations_applied} batch(es) interleaved, "
               f"graph now at epoch {sess.graph_epoch} "
@@ -582,7 +645,7 @@ def cmd_mutate(args, out) -> int:
         print(f"  {args.queries} interleaved {args.k}-hop queries: "
               f"epochs {int(rep.epochs.min())}..{int(rep.epochs.max())}, "
               f"mean response {rep.mean_response * 1e3:.3f} ms, "
-              f"p99 {rep.p99 * 1e3:.3f} ms", file=out)
+              f"p99 {rep.p99() * 1e3:.3f} ms", file=out)
     if args.cross_check:
         print("  cross-check vs rebuilt-from-scratch oracle: ok "
               "(answers and virtual clocks bit-identical)", file=out)

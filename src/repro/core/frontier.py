@@ -32,6 +32,9 @@ __all__ = [
     "BitFrontier",
     "popcount",
     "per_query_counts",
+    "words_for",
+    "make_query_mask",
+    "query_mask_for",
     "MAX_BATCH_WIDTH",
     "MAX_WIDE_BATCH",
 ]
@@ -42,6 +45,46 @@ _WORD_BITS = 64
 MAX_BATCH_WIDTH = 64
 #: 512 query bits — one 64-byte cache line of query slots (§3.5).
 MAX_WIDE_BATCH = 512
+
+
+def words_for(num_queries: int) -> int:
+    """Number of 64-bit plane words that cover a batch of ``num_queries``."""
+    return (int(num_queries) + _WORD_BITS - 1) // _WORD_BITS
+
+
+def make_query_mask(num_queries: int) -> np.ndarray:
+    """The ``(words,)`` uint64 mask with the batch's valid query bits set.
+
+    Bit ``q`` of the mask (word ``q // 64``, bit ``q % 64``) is set for every
+    query slot ``q < num_queries`` — the plane-wide AND mask that keeps spill
+    bits of a partially filled last word from leaking into the frontier.
+    """
+    num_queries = int(num_queries)
+    if num_queries < 0:
+        raise ValueError(f"num_queries must be non-negative, got {num_queries}")
+    mask = np.zeros(words_for(num_queries), dtype=_WORD)
+    full, rem = divmod(num_queries, _WORD_BITS)
+    mask[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    if rem:
+        mask[full] = np.uint64((1 << rem) - 1)
+    return mask
+
+
+def query_mask_for(indices, num_queries: int) -> np.ndarray:
+    """The ``(words,)`` uint64 mask with exactly ``indices``' query bits set.
+
+    Used for sub-batch masks — e.g. the per-partition affinity planes of the
+    QoS layer, where each plane marks the queries whose seeds a partition
+    owns.  Every index must lie in ``[0, num_queries)``.
+    """
+    num_queries = int(num_queries)
+    mask = np.zeros(words_for(num_queries), dtype=_WORD)
+    for q in np.asarray(indices, dtype=np.int64).ravel():
+        if not 0 <= q < num_queries:
+            raise ValueError(f"query index {q} out of batch of {num_queries}")
+        w, b = divmod(int(q), _WORD_BITS)
+        mask[w] |= np.uint64(1 << b)
+    return mask
 
 
 def popcount(x: np.ndarray) -> np.ndarray:
@@ -108,12 +151,8 @@ class BitFrontier:
             )
         self.num_local = int(num_local)
         self.num_queries = int(num_queries)
-        self.words = (num_queries + _WORD_BITS - 1) // _WORD_BITS
-        self.query_mask = np.zeros(self.words, dtype=_WORD)
-        full, rem = divmod(num_queries, _WORD_BITS)
-        self.query_mask[:full] = np.uint64(0xFFFFFFFFFFFFFFFF)
-        if rem:
-            self.query_mask[full] = np.uint64((1 << rem) - 1)
+        self.words = words_for(num_queries)
+        self.query_mask = make_query_mask(num_queries)
         shape = (self.num_local, self.words)
         self.frontier = np.zeros(shape, dtype=_WORD)
         self.next = np.zeros(shape, dtype=_WORD)

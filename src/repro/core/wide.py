@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.frontier import MAX_WIDE_BATCH
+from repro.core.frontier import MAX_WIDE_BATCH, words_for
 from repro.core.khop import KHopPartitionTask, _check_direction
 from repro.graph.edgelist import EdgeList
 from repro.graph.partition import PartitionedGraph
@@ -30,8 +30,6 @@ from repro.runtime.netmodel import NetworkModel
 from repro.runtime.session import GraphSession
 
 __all__ = ["WideKHopResult", "concurrent_khop_wide", "MAX_WIDE_BATCH"]
-
-_WORD_BITS = 64
 
 
 @dataclass
@@ -74,7 +72,7 @@ def concurrent_khop_wide(
     cluster = sess.cluster
     sources = sess.check_sources(sources, MAX_WIDE_BATCH)
     num_queries = int(sources.size)
-    words = (num_queries + _WORD_BITS - 1) // _WORD_BITS
+    words = words_for(num_queries)
 
     push_coeff = sess.netmodel.seconds_per_edge_push
     pull_coeff = sess.netmodel.seconds_per_edge_pull

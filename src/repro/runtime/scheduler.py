@@ -32,11 +32,19 @@ cross-checks: on identical workloads the two accountings agree.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import InvalidQueryError, MutationError, Overloaded
+from repro.qos.lanes import (
+    INTERACTIVE_LANE,
+    QosConfig,
+    TokenBucket,
+    WeightedFairQueue,
+)
+from repro.qos.locality import affinity_select
 
 __all__ = [
     "simulate_fifo_pool",
@@ -146,6 +154,15 @@ class _PendingQuery:
     source: int
     arrival: float
     target: int | None = None
+    lane: str = INTERACTIVE_LANE
+    tenant: str = "default"
+
+
+def _str_array(values: list[str]) -> np.ndarray:
+    """A numpy string array that stays well-typed when ``values`` is empty."""
+    if not values:
+        return np.empty(0, dtype="<U1")
+    return np.array(values)
 
 
 @dataclass
@@ -190,6 +207,15 @@ class ServiceReport:
     #: Queued mutation batches this drain applied (interleaved with query
     #: batches in arrival order; charged zero virtual time).
     mutations_applied: int = 0
+    #: Per-query SLO lane / tenant (submission metadata; FIFO services
+    #: default every query to the interactive lane and "default" tenant).
+    lanes: np.ndarray | None = None
+    tenants: np.ndarray | None = None
+    #: Result-cache traffic this drain (hybrid planner with a ResultCache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Queries whose start was delayed by their tenant's token bucket.
+    throttled: int = 0
 
     @property
     def response_seconds(self) -> np.ndarray:
@@ -230,34 +256,61 @@ class ServiceReport:
             return 0.0
         return float(self.response_seconds.max())
 
-    def _percentile(self, q: float) -> float:
-        if self.num_queries == 0:
+    def _lane_responses(self, lane: str | None) -> np.ndarray:
+        if lane is None:
+            return self.response_seconds
+        if self.lanes is None:
+            return np.empty(0)
+        return self.response_seconds[self.lanes == lane]
+
+    def lane_queries(self, lane: str) -> int:
+        """How many drained queries ran on ``lane`` (0 for unknown lanes)."""
+        return int(self._lane_responses(lane).size)
+
+    def percentile(self, q: float, lane: str | None = None) -> float:
+        """The ``q``-th response-time percentile, optionally for one lane.
+
+        A lane that drained zero queries (or an unknown lane name) reports
+        0.0 — never NaN — matching the empty-drain accessors above.
+        """
+        responses = self._lane_responses(lane)
+        if responses.size == 0:
             return 0.0
-        return float(np.percentile(self.response_seconds, q))
+        return float(np.percentile(responses, q))
 
-    @property
-    def p50(self) -> float:
-        """Median response time (seconds)."""
-        return self._percentile(50.0)
+    def p50(self, lane: str | None = None) -> float:
+        """Median response time (seconds), optionally per lane."""
+        return self.percentile(50.0, lane)
 
-    @property
-    def p95(self) -> float:
-        """95th-percentile response time (seconds)."""
-        return self._percentile(95.0)
+    def p95(self, lane: str | None = None) -> float:
+        """95th-percentile response time (seconds), optionally per lane."""
+        return self.percentile(95.0, lane)
 
-    @property
-    def p99(self) -> float:
+    def p99(self, lane: str | None = None) -> float:
         """99th-percentile response time (seconds) — the tail the paper's
-        concurrency figures are about."""
-        return self._percentile(99.0)
+        concurrency figures are about.  ``p99(lane="interactive")`` is the
+        per-SLO-class tail the QoS layer protects."""
+        return self.percentile(99.0, lane)
 
     def __repr__(self) -> str:
-        return (
+        base = (
             f"ServiceReport(queries={self.num_queries}, "
             f"batches={self.num_batches}, "
-            f"mean={self.mean_response:.6f}s, p99={self.p99:.6f}s, "
-            f"makespan={self.makespan:.6f}s, clock={self.clock_seconds:.6f}s)"
+            f"mean={self.mean_response:.6f}s, p99={self.p99():.6f}s, "
+            f"makespan={self.makespan:.6f}s, clock={self.clock_seconds:.6f}s"
         )
+        if self.lanes is not None and self.num_queries:
+            names = sorted(set(self.lanes.tolist()))
+            if len(names) > 1:
+                per = ", ".join(
+                    f"{name}: n={self.lane_queries(name)} "
+                    f"p99={self.p99(lane=name):.6f}s"
+                    for name in names
+                )
+                base += f", lanes=[{per}]"
+        if self.cache_hits or self.cache_misses:
+            base += f", cache={self.cache_hits}h/{self.cache_misses}m"
+        return base + ")"
 
 
 class QueryService:
@@ -313,6 +366,26 @@ class QueryService:
     index epoch before routing: point queries fall back to the traversal
     lane whenever the resident index is stale for the current epoch.
 
+    **QoS drain** — passing a :class:`~repro.qos.lanes.QosConfig` replaces
+    the FIFO drain order with deterministic weighted fair queueing over SLO
+    lanes: every query carries a lane (``interactive`` / ``bulk`` / …) and a
+    tenant, lanes are served in proportion to their weights, per-tenant
+    token buckets pace heavy tenants on the virtual clock, and batches are
+    packed with seed-partition affinity (queries whose seeds share a
+    partition land in the same wide-BFS words).  Scheduling is policy only:
+    per-query answers stay bit-identical to the FIFO drain (verdicts depend
+    on the graph epoch, never on batch composition) and the whole report is
+    a deterministic function of the submitted trace, so QoS reports
+    reproduce bit-identically across reruns and backends.
+
+    **Result cache** — passing a :class:`~repro.qos.cache.ResultCache`
+    (hybrid planner only) fronts the index lane: repeated point-reach
+    queries keyed ``(source, target, k, graph_epoch)`` are answered from a
+    bounded LRU at one vertex-update of virtual cost (route ``"cache"``),
+    and the mutation lane's epoch advance invalidates older entries so a
+    stale verdict is unreachable by construction.  The cache's own
+    ``cross_check`` mode re-executes every hit against the live planner.
+
     The virtual clock persists across drains — the session stays resident
     between waves of arrivals, which is the deployment model the paper
     evaluates (§4).
@@ -331,6 +404,8 @@ class QueryService:
         instrumentation=None,
         deadline_seconds: float | None = None,
         max_pending: int | None = None,
+        qos: QosConfig | None = None,
+        cache=None,
     ):
         if discipline not in ("batch", "pool"):
             raise ValueError("discipline must be 'batch' or 'pool'")
@@ -338,6 +413,18 @@ class QueryService:
             raise ValueError("batch_width must be in [1, 64]")
         if planner not in ("traversal", "hybrid"):
             raise ValueError("planner must be 'traversal' or 'hybrid'")
+        if qos is not None and not isinstance(qos, QosConfig):
+            raise TypeError("qos must be a repro.qos.QosConfig")
+        if qos is not None and discipline != "batch":
+            raise ValueError(
+                "QoS lanes require discipline='batch' (weighted fair "
+                "queueing schedules bit-parallel batches, not pool slots)"
+            )
+        if cache is not None and planner != "hybrid":
+            raise ValueError(
+                "the result cache fronts the index lane; it requires "
+                "planner='hybrid'"
+            )
         if (
             cross_check
             and planner != "hybrid"
@@ -395,17 +482,46 @@ class QueryService:
         self._due_mutations: list[tuple] = []  # drain-local, arrival-sorted
         self._drain_mutations = 0
         self._oracle_sessions: dict[int, object] = {}  # epoch -> GraphSession
+        # the QoS layer: WFQ lane state and per-tenant token buckets persist
+        # across drains, like the virtual clock they run on
+        self.qos = qos
+        self._wfq = WeightedFairQueue(qos.lanes) if qos is not None else None
+        self._buckets: dict[str, TokenBucket] = (
+            {t: TokenBucket(spec) for t, spec in qos.quotas.items()}
+            if qos is not None
+            else {}
+        )
+        self.throttled = 0
+        self._drain_throttled = 0
+        # the result cache (hybrid planner): hit cost defaults to one
+        # vertex-update under the session's calibrated cost model
+        if cache is not None and cache.hit_seconds is None:
+            from repro.runtime.netmodel import StepStats
+
+            cache.hit_seconds = float(
+                session.netmodel.compute_seconds(StepStats(vertices_updated=1))
+            )
+        self.cache = cache
+        self._cache_mark = (0, 0)
 
     # -- submission --------------------------------------------------------- #
 
     def submit(
-        self, source: int, arrival: float = 0.0, target: int | None = None
+        self,
+        source: int,
+        arrival: float = 0.0,
+        target: int | None = None,
+        lane: str | None = None,
+        tenant: str | None = None,
     ) -> int:
         """Queue one query; returns its id (submission order).
 
         With a ``target`` the query asks *is target within k hops of
         source* (a point reachability query, eligible for index routing);
-        without one it asks for the full k-hop reach set.
+        without one it asks for the full k-hop reach set.  ``lane`` picks
+        the query's SLO class (defaults to the QoS config's default lane)
+        and ``tenant`` its quota identity; both are recorded on the report
+        even for FIFO services, where they are metadata only.
 
         Raises :class:`~repro.errors.Overloaded` when the service's
         ``max_pending`` admission bound is hit — shed load early rather
@@ -425,41 +541,79 @@ class QueryService:
             raise InvalidQueryError("source vertex out of range")
         if target is not None and not 0 <= int(target) < self.session.num_vertices:
             raise InvalidQueryError("target vertex out of range")
-        if arrival < 0:
-            raise InvalidQueryError("arrival time must be non-negative")
+        # NaN/inf arrivals would silently corrupt the virtual timeline (they
+        # sort arbitrarily and poison every max/min the drain computes), so
+        # they are rejected at the door alongside negative ones.
+        arrival = float(arrival)
+        if not math.isfinite(arrival) or arrival < 0:
+            raise InvalidQueryError(
+                f"arrival time must be finite and non-negative, got {arrival!r}"
+            )
+        if lane is None:
+            lane = (
+                self.qos.default_lane if self.qos is not None
+                else INTERACTIVE_LANE
+            )
+        elif self.qos is not None and lane not in self.qos.lanes:
+            raise InvalidQueryError(
+                f"unknown lane {lane!r}; configured lanes: "
+                f"{sorted(self.qos.lanes)}"
+            )
         qid = self._next_id
         self._next_id += 1
         self._pending.append(
             _PendingQuery(
                 qid,
                 int(source),
-                float(arrival),
+                arrival,
                 None if target is None else int(target),
+                str(lane),
+                "default" if tenant is None else str(tenant),
             )
         )
         return qid
 
-    def submit_many(self, sources, arrivals=None, targets=None) -> list[int]:
+    def submit_many(
+        self, sources, arrivals=None, targets=None, lane=None, tenant=None
+    ) -> list[int]:
         """Queue a wave of queries (``arrivals`` defaults to all-zero;
-        ``targets``, when given, makes the wave point reachability queries)."""
+        ``targets``, when given, makes the wave point reachability queries;
+        ``lane``/``tenant`` may be a single value for the whole wave or a
+        per-query sequence matching ``sources``)."""
         sources = np.asarray(sources, dtype=np.int64)
         if arrivals is None:
             arrivals = np.zeros(sources.size)
         arrivals = np.asarray(arrivals, dtype=np.float64)
         if arrivals.shape != sources.shape:
             raise ValueError("arrivals must match sources")
+        lanes = self._broadcast_wave("lane", lane, sources.size)
+        tenants = self._broadcast_wave("tenant", tenant, sources.size)
         if targets is None:
             return [
-                self.submit(int(s), float(a))
-                for s, a in zip(sources, arrivals)
+                self.submit(int(s), float(a), lane=ln, tenant=tn)
+                for s, a, ln, tn in zip(sources, arrivals, lanes, tenants)
             ]
         targets = np.asarray(targets, dtype=np.int64)
         if targets.shape != sources.shape:
             raise ValueError("targets must match sources")
         return [
-            self.submit(int(s), float(a), target=int(t))
-            for s, a, t in zip(sources, arrivals, targets)
+            self.submit(int(s), float(a), target=int(t), lane=ln, tenant=tn)
+            for s, a, t, ln, tn in zip(sources, arrivals, targets, lanes, tenants)
         ]
+
+    @staticmethod
+    def _broadcast_wave(name, value, size):
+        """A wave attribute is either one value for every query or a
+        per-query sequence; normalise both to a length-``size`` list."""
+        if value is None or isinstance(value, str):
+            return [value] * size
+        values = [None if v is None else str(v) for v in np.asarray(value).ravel()]
+        if len(values) != size:
+            raise ValueError(
+                f"{name} must be a single value or match sources "
+                f"(got {len(values)} for {size} queries)"
+            )
+        return values
 
     @property
     def num_pending(self) -> int:
@@ -487,8 +641,11 @@ class QueryService:
             res = self.session.apply_mutations(inserts, deletes)
             self.mutations_applied += 1
             return res
-        if arrival < 0:
-            raise InvalidQueryError("arrival time must be non-negative")
+        arrival = float(arrival)
+        if not math.isfinite(arrival) or arrival < 0:
+            raise InvalidQueryError(
+                f"arrival time must be finite and non-negative, got {arrival!r}"
+            )
         seq = self._mut_seq
         self._mut_seq += 1
         self._pending_mutations.append((float(arrival), seq, inserts, deletes))
@@ -531,6 +688,12 @@ class QueryService:
         )
         self._pending_mutations = []
         self._drain_mutations = 0
+        self._drain_throttled = 0
+        self._cache_mark = (
+            (self.cache.hits, self.cache.misses)
+            if self.cache is not None
+            else (0, 0)
+        )
         if not self._pending:
             self._apply_due_mutations(float("inf"))
             return self._report([], {}, {}, 0, {}, {}, 0.0, {}, {})
@@ -551,28 +714,33 @@ class QueryService:
             "service drain", cat="service",
             queries=len(queue), discipline=self.discipline,
         ):
-            if point:
-                if self.planner == "hybrid":
-                    n, t = self._drain_point_index(
-                        point, starts, finishes, verdicts, routes, missed,
-                        epochs,
-                    )
-                else:
-                    n, t = self._drain_point_traversal(
-                        point, starts, finishes, verdicts, routes, missed,
-                        epochs,
-                    )
-                num_dispatches += n
-                busy += t
-            if enum:
-                if self.discipline == "batch":
-                    n, t = self._drain_batch(
-                        enum, starts, finishes, missed, epochs
-                    )
-                else:
-                    n, t = self._drain_pool(enum, starts, finishes, epochs)
-                num_dispatches += n
-                busy += t
+            if self.qos is not None:
+                num_dispatches, busy = self._drain_qos(
+                    queue, starts, finishes, verdicts, routes, missed, epochs
+                )
+            else:
+                if point:
+                    if self.planner == "hybrid":
+                        n, t = self._drain_point_index(
+                            point, starts, finishes, verdicts, routes, missed,
+                            epochs,
+                        )
+                    else:
+                        n, t = self._drain_point_traversal(
+                            point, starts, finishes, verdicts, routes, missed,
+                            epochs,
+                        )
+                    num_dispatches += n
+                    busy += t
+                if enum:
+                    if self.discipline == "batch":
+                        n, t = self._drain_batch(
+                            enum, starts, finishes, missed, epochs
+                        )
+                    else:
+                        n, t = self._drain_pool(enum, starts, finishes, epochs)
+                    num_dispatches += n
+                    busy += t
             self._apply_due_mutations(float("inf"))  # arrivals past the end
         self.batches_dispatched += num_dispatches
         if missed:
@@ -587,8 +755,157 @@ class QueryService:
                 self.instr.on_query_done(
                     str(route), self.discipline, float(resp)
                 )
+            for lane, resp in zip(report.lanes, report.response_seconds):
+                self.instr.on_lane_query(str(lane), float(resp))
+            if self.cache is not None:
+                self.instr.on_cache(
+                    report.cache_hits, report.cache_misses, len(self.cache)
+                )
             self.instr.on_clock(self.clock)
         return report
+
+    # -- the QoS drain (weighted fair queueing over SLO lanes) --------------- #
+
+    def _eligible_start(self, q: _PendingQuery) -> float:
+        """Earliest virtual time ``q`` may start under its tenant's quota."""
+        bucket = self._buckets.get(q.tenant)
+        if bucket is None:
+            return q.arrival
+        return max(q.arrival, bucket.ready_time(q.arrival))
+
+    def _take_token(self, q: _PendingQuery, now: float, eligible: float) -> None:
+        """Consume ``q``'s quota token at dispatch; count a throttle when
+        the quota (not the queue) delayed it past its arrival."""
+        bucket = self._buckets.get(q.tenant)
+        if bucket is None:
+            return
+        bucket.take(now)
+        if eligible > q.arrival:
+            self.throttled += 1
+            self._drain_throttled += 1
+            self.instr.on_throttle(q.tenant)
+
+    def _drain_qos(
+        self, queue, starts, finishes, verdicts, routes, missed, epochs
+    ) -> tuple[int, float]:
+        """Weighted-fair drain: the QoS replacement for the FIFO loop.
+
+        Hybrid-planned point queries still leave through the dedicated
+        index lane first (paced by their tenants' buckets but exempt from
+        WFQ — lookups never queue behind traversal batches).  Everything
+        else runs through an event loop: at each step the earliest
+        quota-eligible virtual instant defines the candidate set, the WFQ
+        picks which backlogged lane to serve, and a batch of that lane's
+        queries — packed by seed-partition affinity — dispatches on the
+        engine.  The lane is then charged the batch's measured virtual
+        seconds normalised by its weight.  Every input that drives a
+        decision (arrivals, quotas, weights, seed owners) is part of the
+        submitted trace, so the drain is deterministic end to end.
+        """
+        from repro.core.khop import concurrent_khop
+
+        qos = self.qos
+        num = 0
+        busy = 0.0
+        remaining = list(queue)
+        if self.planner == "hybrid":
+            point = [q for q in remaining if q.target is not None]
+            if point:
+                n, t = self._drain_point_index(
+                    point, starts, finishes, verdicts, routes, missed, epochs
+                )
+                num += n
+                busy += t
+                remaining = [q for q in remaining if q.target is None]
+        while remaining:
+            eligible = {q.query_id: self._eligible_start(q) for q in remaining}
+            now = max(self.clock, min(eligible.values()))
+            ready = [q for q in remaining if eligible[q.query_id] <= now]
+            lane = self._wfq.pick(sorted({q.lane for q in ready}))
+            lane_ready = [q for q in ready if q.lane == lane]
+            is_point = lane_ready[0].target is not None
+            kind_ready = [
+                q for q in lane_ready if (q.target is not None) == is_point
+            ]
+            # per-batch quota budget: a tenant contributes at most its
+            # current token balance to one batch (floor 1, so every tenant
+            # keeps making progress — overdraft pushes its next eligibility
+            # out instead of deadlocking the lane)
+            if self._buckets:
+                budgets: dict[str, int] = {}
+                admitted = []
+                for q in kind_ready:
+                    bucket = self._buckets.get(q.tenant)
+                    if bucket is None:
+                        admitted.append(q)
+                        continue
+                    if q.tenant not in budgets:
+                        bucket._refill(now)
+                        budgets[q.tenant] = max(1, int(bucket.tokens))
+                    if budgets[q.tenant] > 0:
+                        budgets[q.tenant] -= 1
+                        admitted.append(q)
+                kind_ready = admitted
+            spec = qos.lanes[lane]
+            width = min(self.batch_width, spec.batch_width or self.batch_width)
+            if qos.affinity == "partition" and len(kind_ready) > width:
+                owners = self.session.seed_owners(
+                    [q.source for q in kind_ready]
+                )
+                batch = [kind_ready[i] for i in affinity_select(owners, width)]
+            else:
+                batch = kind_ready[:width]
+            self._apply_due_mutations(now)
+            epoch = self._epoch()
+            if is_point:
+                res = self._dispatch(
+                    "reach", now, len(batch),
+                    lambda: self.session.reach(
+                        [q.source for q in batch],
+                        [q.target for q in batch],
+                        self.k,
+                        use_edge_sets=self.use_edge_sets,
+                        max_virtual_seconds=self.deadline_seconds,
+                    ),
+                )
+                per_query = res.resolution_seconds
+                for j, q in enumerate(batch):
+                    verdicts[q.query_id] = bool(res.reachable[j])
+                    routes[q.query_id] = "traversal"
+            else:
+                res = self._dispatch(
+                    "khop", now, len(batch),
+                    lambda: concurrent_khop(
+                        self.session.pg,
+                        [q.source for q in batch],
+                        self.k,
+                        use_edge_sets=self.use_edge_sets,
+                        session=self.session,
+                        max_virtual_seconds=self.deadline_seconds,
+                    ),
+                )
+                per_query = res.completion_seconds
+            for j, q in enumerate(batch):
+                starts[q.query_id] = now
+                epochs[q.query_id] = epoch
+                if res.resolved is None or res.resolved[j]:
+                    finishes[q.query_id] = now + float(per_query[j])
+                else:
+                    finishes[q.query_id] = now + float(res.virtual_seconds)
+                    missed[q.query_id] = True
+                self._take_token(q, now, eligible[q.query_id])
+            self.clock = now + float(res.virtual_seconds)
+            busy += float(res.virtual_seconds)
+            num += 1
+            self._wfq.charge(lane, float(res.virtual_seconds))
+            if self.cross_check and getattr(self.session, "is_dynamic", False):
+                if is_point:
+                    self._oracle_check_reach(batch, res, epoch)
+                else:
+                    self._oracle_check_khop(batch, res, epoch)
+            dispatched = {q.query_id for q in batch}
+            remaining = [q for q in remaining if q.query_id not in dispatched]
+        return num, busy
 
     def _drain_point_index(
         self, queue, starts, finishes, verdicts, routes, missed, epochs
@@ -639,16 +956,39 @@ class QueryService:
     def _index_group(
         self, queue, starts, finishes, verdicts, routes, epochs
     ) -> tuple[int, float]:
+        """Serve one index-lane group, fronted by the result cache.
+
+        With a :class:`~repro.qos.cache.ResultCache` wired in, each query
+        first probes the cache at the group's graph epoch (older entries
+        were invalidated when the epoch advanced); hits are charged the
+        one-vertex-update hit cost and routed ``"cache"``, misses go to the
+        resident index as before and populate the cache on the way out.
+        """
         planner = self.session.index_planner()  # builds the index once
         epoch = self._epoch()
+        cache = self.cache
         sources = np.array([q.source for q in queue], dtype=np.int64)
         targets = np.array([q.target for q in queue], dtype=np.int64)
-        answer = planner.answer(sources, targets, self.k)
+        if cache is not None:
+            group_verdicts, service, hit_mask = planner.answer_cached(
+                sources, targets, self.k, epoch, cache
+            )
+        else:
+            answer = planner.answer(sources, targets, self.k)
+            group_verdicts = answer.reachable
+            service = answer.service_seconds
+            hit_mask = np.zeros(len(queue), dtype=bool)
+        busy = float(service.sum())
         for j, q in enumerate(queue):
-            starts[q.query_id] = q.arrival
-            finishes[q.query_id] = q.arrival + float(answer.service_seconds[j])
-            verdicts[q.query_id] = bool(answer.reachable[j])
-            routes[q.query_id] = "index"
+            start = q.arrival
+            if self.qos is not None:
+                eligible = self._eligible_start(q)
+                start = max(start, eligible)
+                self._take_token(q, start, eligible)
+            starts[q.query_id] = start
+            finishes[q.query_id] = start + float(service[j])
+            verdicts[q.query_id] = bool(group_verdicts[j])
+            routes[q.query_id] = "cache" if hit_mask[j] else "index"
             epochs[q.query_id] = epoch
         self.clock = max(self.clock, max(finishes[q.query_id] for q in queue))
         if self.instr.enabled:
@@ -660,16 +1000,28 @@ class QueryService:
                 queries=len(queue),
             )
             self.instr.on_dispatch("index")
+        if cache is not None and cache.cross_check and hit_mask.any():
+            hit = np.nonzero(hit_mask)[0]
+            ref = planner.answer(sources[hit], targets[hit], self.k)
+            if not np.array_equal(ref.reachable, group_verdicts[hit]):
+                bad = np.nonzero(ref.reachable != group_verdicts[hit])[0][0]
+                s, t = int(sources[hit][bad]), int(targets[hit][bad])
+                raise AssertionError(
+                    f"stale cache verdict for ({s} -> {t}, k={self.k}, "
+                    f"epoch {epoch}): cache says "
+                    f"{bool(group_verdicts[hit][bad])}, live planner says "
+                    f"{bool(ref.reachable[bad])}"
+                )
         if self.cross_check:
             if getattr(self.session, "is_dynamic", False):
                 self._assert_matches_oracle_index(
-                    sources, targets, answer.reachable, epoch
+                    sources, targets, group_verdicts, epoch
                 )
             else:
                 self._assert_matches_traversal(
-                    sources, targets, answer.reachable
+                    sources, targets, group_verdicts
                 )
-        return len(queue), answer.total_seconds
+        return len(queue), busy
 
     def _drain_point_traversal(
         self, queue, starts, finishes, verdicts, routes, missed, epochs
@@ -930,6 +1282,12 @@ class QueryService:
         epochs = epochs or {}
         shed, self.shed = self.shed, 0
         drain_mutations, self._drain_mutations = self._drain_mutations, 0
+        drain_throttled, self._drain_throttled = self._drain_throttled, 0
+        if self.cache is not None:
+            cache_hits = self.cache.hits - self._cache_mark[0]
+            cache_misses = self.cache.misses - self._cache_mark[1]
+        else:
+            cache_hits = cache_misses = 0
         ids = np.array([q.query_id for q in by_id], dtype=np.int64)
         return ServiceReport(
             query_ids=ids,
@@ -969,4 +1327,9 @@ class QueryService:
                 else None
             ),
             mutations_applied=drain_mutations,
+            lanes=_str_array([q.lane for q in by_id]),
+            tenants=_str_array([q.tenant for q in by_id]),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            throttled=drain_throttled,
         )

@@ -637,6 +637,10 @@ class GraphSession:
             self._task_cache[cache_key] = tasks
         return tasks
 
+    def seed_owners(self, sources) -> np.ndarray:
+        """Owning machine of each seed vertex (QoS affinity batching)."""
+        return self.cluster.owner_of(np.asarray(sources, dtype=np.int64))
+
     def seeds_by_machine(self, sources: np.ndarray) -> list[list[tuple[int, int]]]:
         """Group a batch's sources as ``(local_vertex, query)`` per machine."""
         per_machine: list[list[tuple[int, int]]] = [

@@ -138,6 +138,29 @@ class Instrumentation:
         self._epoch = m.gauge(
             "cgraph_graph_epoch", "resident graph version counter"
         )
+        self._lane_queries = m.counter(
+            "cgraph_lane_queries_total", "queries drained per SLO lane",
+            ("lane",),
+        )
+        self._lane_response = m.histogram(
+            "cgraph_lane_response_seconds",
+            "per-query response time per SLO lane (virtual seconds)",
+            ("lane",),
+        )
+        self._throttled = m.counter(
+            "cgraph_tenant_throttled_total",
+            "queries delayed by their tenant's token-bucket quota",
+            ("tenant",),
+        )
+        self._cache_hits = m.counter(
+            "cgraph_cache_hits_total", "result-cache hits"
+        )
+        self._cache_misses = m.counter(
+            "cgraph_cache_misses_total", "result-cache misses"
+        )
+        self._cache_entries = m.gauge(
+            "cgraph_cache_entries", "resident result-cache entries"
+        )
 
     # -- spans --------------------------------------------------------------- #
 
@@ -287,6 +310,20 @@ class Instrumentation:
     def on_epoch(self, epoch: int) -> None:
         self._epoch.set(float(epoch))
 
+    # -- QoS hooks ------------------------------------------------------------ #
+
+    def on_lane_query(self, lane: str, response_seconds: float) -> None:
+        self._lane_queries.inc(lane=lane)
+        self._lane_response.observe(float(response_seconds), lane=lane)
+
+    def on_throttle(self, tenant: str) -> None:
+        self._throttled.inc(tenant=tenant)
+
+    def on_cache(self, hits: int, misses: int, entries: int) -> None:
+        self._cache_hits.inc(hits)
+        self._cache_misses.inc(misses)
+        self._cache_entries.set(float(entries))
+
 
 class NullInstrumentation(Instrumentation):
     """The default: every hook is a no-op and ``enabled`` is False.
@@ -350,6 +387,15 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def on_epoch(self, *args, **kwargs) -> None:
+        pass
+
+    def on_lane_query(self, *args, **kwargs) -> None:
+        pass
+
+    def on_throttle(self, *args, **kwargs) -> None:
+        pass
+
+    def on_cache(self, *args, **kwargs) -> None:
         pass
 
 

@@ -1,0 +1,97 @@
+"""Affinity batching: pure-function selection and frontier-native masks."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontier import BitFrontier, make_query_mask, query_mask_for, words_for
+from repro.qos.locality import affinity_select, locality_score, partition_query_masks
+
+
+class TestAffinitySelect:
+    def test_anchor_partition_first_then_arrival_order(self):
+        #            anchor v
+        owners = np.array([2, 0, 2, 1, 2, 0])
+        # anchor partition 2 holds candidates {0, 2, 4}; fill with earliest
+        # others {1, 3}; result reported in sorted (drain) order
+        np.testing.assert_array_equal(
+            affinity_select(owners, width=5), [0, 1, 2, 3, 4]
+        )
+
+    def test_same_partition_overflow_truncates(self):
+        owners = np.array([1, 1, 1, 1])
+        np.testing.assert_array_equal(affinity_select(owners, 2), [0, 1])
+
+    def test_perfect_affinity_skips_strangers(self):
+        owners = np.array([0, 1, 0, 1, 0])
+        np.testing.assert_array_equal(affinity_select(owners, 3), [0, 2, 4])
+
+    def test_width_one_is_the_anchor(self):
+        np.testing.assert_array_equal(affinity_select(np.array([3, 0, 1]), 1), [0])
+
+    def test_empty_and_bad_width(self):
+        assert affinity_select(np.array([], dtype=np.int64), 4).size == 0
+        with pytest.raises(ValueError, match="width"):
+            affinity_select(np.array([0]), 0)
+
+    def test_pure_function_of_inputs(self):
+        rng = np.random.default_rng(5)
+        owners = rng.integers(0, 4, 40)
+        a = affinity_select(owners, 16)
+        b = affinity_select(owners.copy(), 16)
+        np.testing.assert_array_equal(a, b)
+        assert a.dtype == np.int64
+
+
+class TestPartitionQueryMasks:
+    def test_planes_match_frontier_query_masks(self):
+        """Row p is exactly the BitFrontier query mask of partition p's
+        queries — same word layout, same bit order."""
+        owners = np.array([0, 2, 0, 1, 2, 2, 0])
+        masks = partition_query_masks(owners, num_partitions=3)
+        assert masks.shape == (3, words_for(owners.size))
+        for p in range(3):
+            expected = query_mask_for(np.nonzero(owners == p)[0], owners.size)
+            np.testing.assert_array_equal(masks[p], expected)
+
+    def test_rows_partition_the_batch(self):
+        """ORing every plane reproduces the full batch mask; planes are
+        pairwise disjoint (each query seeds in exactly one partition)."""
+        rng = np.random.default_rng(9)
+        owners = rng.integers(0, 4, 130)  # spills into a third word
+        masks = partition_query_masks(owners, 4)
+        union = np.zeros(masks.shape[1], dtype=np.uint64)
+        for p in range(4):
+            assert not np.any(union & masks[p])
+            union |= masks[p]
+        np.testing.assert_array_equal(union, make_query_mask(owners.size))
+        bf = BitFrontier(num_local=1, num_queries=owners.size)
+        np.testing.assert_array_equal(union, bf.query_mask)
+
+    def test_padded_batch(self):
+        masks = partition_query_masks(np.array([1, 1]), 2, num_queries=64)
+        assert masks.shape == (2, 1)
+        assert masks[0] == 0
+        assert masks[1] == np.uint64(0b11)
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ValueError, match="owner out of partition range"):
+            partition_query_masks(np.array([3]), num_partitions=3)
+        with pytest.raises(ValueError, match="do not fit"):
+            partition_query_masks(np.array([0, 0, 0]), 1, num_queries=2)
+
+
+class TestLocalityScore:
+    def test_extremes(self):
+        assert locality_score(np.array([2, 2, 2, 2])) == 1.0
+        assert locality_score(np.array([0, 1, 2, 3])) == 0.25
+        assert locality_score(np.array([], dtype=np.int64)) == 0.0
+
+    def test_affinity_select_raises_score(self):
+        """The whole point: a selected batch scores no worse than the
+        arrival-order prefix it replaces."""
+        for seed in range(5):
+            owners = np.random.default_rng(seed).integers(0, 4, 60)
+            width = 16
+            chosen = affinity_select(owners, width)
+            fifo = np.arange(width)
+            assert locality_score(owners[chosen]) >= locality_score(owners[fifo])

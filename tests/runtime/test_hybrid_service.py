@@ -110,11 +110,11 @@ class TestReportPercentiles:
         svc = QueryService(session, k=3, planner="hybrid")
         svc.submit_many(sources, targets=targets)
         rep = svc.drain()
-        for prop, q in ((rep.p50, 50), (rep.p95, 95), (rep.p99, 99)):
-            assert prop == pytest.approx(
+        for value, q in ((rep.p50(), 50), (rep.p95(), 95), (rep.p99(), 99)):
+            assert value == pytest.approx(
                 float(np.percentile(rep.response_seconds, q))
             )
-        assert rep.p50 <= rep.p95 <= rep.p99
+        assert rep.p50() <= rep.p95() <= rep.p99()
 
     def test_empty_drain_is_nan_free_and_warning_free(self, session):
         """Zero queries is a legal steady state: every summary accessor
@@ -127,7 +127,8 @@ class TestReportPercentiles:
             assert rep.num_queries == 0
             assert rep.mean_response == 0.0
             assert rep.max_response == 0.0
-            assert rep.p50 == rep.p95 == rep.p99 == 0.0
+            assert rep.p50() == rep.p95() == rep.p99() == 0.0
+            assert rep.p99(lane="interactive") == 0.0
             assert rep.makespan == 0.0
             text = repr(rep)
         assert "nan" not in text.lower()

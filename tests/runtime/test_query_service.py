@@ -193,6 +193,41 @@ class TestValidation:
         with pytest.raises(ValueError, match="arrival"):
             svc.submit(0, arrival=-1.0)
 
+    def test_non_finite_arrival_rejected(self, session):
+        """NaN/inf arrivals would sort arbitrarily and poison the drain's
+        virtual timeline, so submit rejects them with the typed error —
+        and rejects them atomically (nothing is queued)."""
+        from repro.errors import InvalidQueryError, ReproError
+
+        svc = QueryService(session, k=2)
+        for bad in (float("nan"), float("inf"), float("-inf"), -0.5):
+            with pytest.raises(InvalidQueryError, match="arrival"):
+                svc.submit(0, arrival=bad)
+        assert issubclass(InvalidQueryError, ReproError)
+        assert issubclass(InvalidQueryError, ValueError)
+        assert svc.num_pending == 0
+
+    def test_non_finite_arrival_rejected_in_wave(self, session):
+        from repro.errors import InvalidQueryError
+
+        svc = QueryService(session, k=2)
+        with pytest.raises(InvalidQueryError, match="arrival"):
+            svc.submit_many([0, 1, 2], [0.0, float("nan"), 1.0])
+        with pytest.raises(InvalidQueryError, match="arrival"):
+            svc.submit_many([0, 1], [0.0, float("inf")], targets=[1, 2])
+
+    def test_non_finite_mutation_arrival_rejected(self, session, small_rmat):
+        from repro.errors import InvalidQueryError
+        from repro.runtime.session import GraphSession
+
+        sess = GraphSession(small_rmat, num_machines=2)
+        sess.dynamic()
+        svc = QueryService(sess, k=2)
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(InvalidQueryError, match="arrival"):
+                svc.apply_mutations([(0, 1)], arrival=bad)
+        assert svc.num_pending_mutations == 0
+
     def test_mismatched_arrivals(self, session):
         svc = QueryService(session, k=2)
         with pytest.raises(ValueError, match="arrivals"):
