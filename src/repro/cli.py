@@ -15,6 +15,9 @@ regenerate any evaluation figure:
    $ python -m repro index query --dataset OR-100M --source 5 --target 99 --k 3
    $ python -m repro hopplot --dataset SLASHDOT-ZOO
    $ python -m repro experiment fig10 --scale 0.2
+   $ python -m repro service --dataset OR-100M --mutations stream.txt --wal-dir state/
+   $ python -m repro recover --wal-dir state/
+   $ python -m repro chaos --durable --seed 3
 
 Every graph subcommand builds one :class:`~repro.runtime.session.GraphSession`
 for the loaded dataset and runs all of its work on it — the partitioned
@@ -56,6 +59,7 @@ EXPERIMENTS = {
     "push-pull": "push_pull",
     "dynamic-churn": "dynamic_churn",
     "qos-isolation": "qos_isolation",
+    "durability": "durability_overhead",
 }
 
 
@@ -188,6 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU result cache (entries) in front of the index "
                         "lane, keyed (source, target, k, graph epoch); "
                         "requires --planner hybrid")
+    p.add_argument("--wal-dir", default=None,
+                   help="durable service state: WAL every mutation batch "
+                        "and checkpoint the graph under this directory "
+                        "(enables the dynamic graph layer)")
+    p.add_argument("--checkpoint-every", type=int, default=8,
+                   help="take a checkpoint every this many WAL'd mutation "
+                        "batches (with --wal-dir)")
+    p.add_argument("--fsync", choices=["always", "batch", "none"],
+                   default="batch",
+                   help="WAL fsync policy: per append, per drained "
+                        "mutation group, or never (with --wal-dir)")
 
     p = sub.add_parser(
         "mutate",
@@ -235,6 +250,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="recovery budget before the batch is abandoned")
     p.add_argument("--step-timeout", type=float, default=30.0,
                    help="per-superstep hang detection timeout (seconds)")
+    p.add_argument("--durable", action="store_true",
+                   help="durability drill instead: kill the whole process "
+                        "at a seeded crash point mid-mutation-stream, "
+                        "recover from WAL+checkpoint, and assert answers "
+                        "and epochs are bit-identical to an uninterrupted "
+                        "run")
+    p.add_argument("--crash-point",
+                   choices=["crash_post_append", "crash_mid_checkpoint",
+                            "crash_mid_compaction"],
+                   default=None,
+                   help="durable drill: pin the kill point (default: drawn "
+                        "from --seed)")
+    p.add_argument("--crash-at", type=int, default=None,
+                   help="durable drill: 1-based ordinal of the crash point "
+                        "occurrence to kill at")
+    p.add_argument("--wal-dir", default=None,
+                   help="durable drill: working directory for WAL + "
+                        "checkpoints (default: a fresh temp dir)")
+    p.add_argument("--backend", choices=["inproc", "pool"], default="inproc",
+                   help="durable drill: backend for the reference and "
+                        "recovered runs")
+
+    p = sub.add_parser(
+        "recover",
+        help="recover a crashed durable service: load the newest valid "
+             "checkpoint, replay the WAL suffix, report the restored state",
+    )
+    p.add_argument("--wal-dir", required=True,
+                   help="durability root the crashed service was writing "
+                        "(contains wal/ and checkpoints/)")
+    p.add_argument("--backend", choices=["inproc", "pool"], default="inproc")
+    p.add_argument("--index-maintenance",
+                   choices=["incremental", "rebuild", "none"],
+                   default="incremental")
+    p.add_argument("--cross-check", action="store_true",
+                   help="also rebuild every shard from the recovered edge "
+                        "set and assert the resident CSR/CSC is "
+                        "bit-identical")
+    p.add_argument("--fsync", choices=["always", "batch", "none"],
+                   default="batch",
+                   help="WAL fsync policy for the recovered session")
+    p.add_argument("--checkpoint-every", type=int, default=8)
 
     p = sub.add_parser(
         "telemetry",
@@ -509,6 +566,21 @@ def cmd_service(args, out) -> int:
             )
         mutation_batches = parse_edge_stream(args.mutations)
         sess.dynamic()
+    durability = None
+    if args.wal_dir:
+        if args.edge_sets:
+            raise SystemExit(
+                "repro service: --wal-dir is incompatible with --edge-sets "
+                "(durability covers the dynamic graph layer)"
+            )
+        if args.checkpoint_every < 1:
+            raise SystemExit(
+                "repro service: --checkpoint-every must be >= 1"
+            )
+        durability = sess.enable_durability(
+            args.wal_dir, fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
     svc = QueryService(
         sess, args.k, discipline=args.discipline,
         batch_width=args.batch_width, use_edge_sets=args.edge_sets,
@@ -577,6 +649,12 @@ def cmd_service(args, out) -> int:
               f"graph now at epoch {sess.graph_epoch} "
               f"({sess.num_edges:,} edges); query epochs "
               f"{int(rep.epochs.min())}..{int(rep.epochs.max())}", file=out)
+    if durability is not None:
+        wal = durability.wal
+        print(f"  durability: {wal.appends} WAL append(s) "
+              f"({wal.bytes_written:,} bytes, {wal.fsyncs} fsync(s), "
+              f"policy {args.fsync}), {durability.checkpoints} "
+              f"checkpoint(s) under {args.wal_dir}", file=out)
     if args.backend == "pool":
         print(f"  pool: failures {sess.pool_failures}, "
               f"degraded {'yes' if rep.degraded else 'no'}", file=out)
@@ -662,7 +740,15 @@ def cmd_chaos(args, out) -> int:
     :class:`~repro.runtime.fault.FaultPlan` armed.  The drill passes when
     the pool's answers *and* virtual clock are bit-identical to the
     reference and no shared-memory segments leak; exit code 1 otherwise.
+
+    With ``--durable`` the drill targets the durability layer instead:
+    a spawned child process runs a deterministic mutation+query workload
+    with WAL and checkpoints on and is killed at a seeded crash point;
+    the parent recovers from disk and asserts the resumed run is
+    bit-identical to an uninterrupted reference.
     """
+    if args.durable:
+        return _cmd_chaos_durable(args, out)
     import glob
 
     from repro.bench.workload import random_sources
@@ -737,6 +823,91 @@ def cmd_chaos(args, out) -> int:
               f"{'degraded to inproc' if degraded else 'pool survived'}, "
               f"no leaked segments)", file=out)
     return 0 if ok else 1
+
+
+def _cmd_chaos_durable(args, out) -> int:
+    """``repro chaos --durable``: whole-process kill/recover/parity drill."""
+    import tempfile
+
+    from repro.errors import DurabilityError
+    from repro.runtime.durability import run_durable_drill
+
+    root = args.wal_dir
+    tmp = None
+    if root is None:
+        tmp = tempfile.TemporaryDirectory(prefix="cgraph-drill-")
+        root = tmp.name
+    try:
+        rep = run_durable_drill(
+            args.seed, root,
+            crash_kind=args.crash_point,
+            crash_at=args.crash_at,
+            backend=args.backend,
+            scale=args.scale if args.scale is not None else 1.0,
+            num_machines=args.machines,
+        )
+    except DurabilityError as exc:
+        print(f"durable drill FAILED: {exc}", file=out)
+        return 1
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    print(f"durable drill (seed {args.seed}, {rep.backend} backend, "
+          f"{args.machines} machines): killed the service at "
+          f"{rep.crash_kind} #{rep.crash_at}", file=out)
+    print(f"  recovered: checkpoint epoch {rep.checkpoint_epoch} -> epoch "
+          f"{rep.recovered_epoch} ({rep.replayed_records} WAL record(s) "
+          f"replayed in {rep.recovery_seconds * 1e3:.1f} ms)", file=out)
+    print(f"  resumed {rep.resumed_batches} batch(es) to epoch "
+          f"{rep.final_epoch}: {rep.waves_compared} query wave(s) "
+          f"bit-identical to the uninterrupted run (answers, verdicts, "
+          f"hops, epochs)", file=out)
+    return 0
+
+
+def cmd_recover(args, out) -> int:
+    """Recover a crashed durable service and report the restored state."""
+    from repro.errors import DurabilityError
+    from repro.runtime.session import GraphSession
+
+    if args.checkpoint_every < 1:
+        raise SystemExit("repro recover: --checkpoint-every must be >= 1")
+    try:
+        sess = GraphSession.restore(
+            args.wal_dir,
+            backend=args.backend,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+            index_maintenance=args.index_maintenance,
+            cross_check=args.cross_check,
+        )
+    except DurabilityError as exc:
+        print(f"repro recover: {exc}", file=out)
+        return 1
+    try:
+        rep = sess._durability.last_recovery
+        print(f"recovered {args.wal_dir}: checkpoint epoch "
+              f"{rep.checkpoint_epoch} -> epoch {rep.epoch} in "
+              f"{rep.seconds * 1e3:.1f} ms", file=out)
+        print(f"  replayed {rep.replayed_records} WAL record(s) "
+              f"({rep.replayed_mutations} mutation batch(es), "
+              f"{rep.replayed_compactions} compaction(s)); "
+              f"{rep.checkpoint_fallbacks} torn/corrupt checkpoint(s) "
+              f"skipped, {rep.wal_truncated_bytes} torn WAL byte(s) "
+              f"truncated", file=out)
+        print(f"  graph: {sess.num_vertices:,} vertices, "
+              f"{sess.num_edges:,} edges at epoch {sess.graph_epoch}; "
+              f"index {'resident' if sess.has_index else 'absent'}", file=out)
+        if args.cross_check:
+            print("  cross-check: resident shards bit-identical to a "
+                  "rebuilt-from-scratch oracle", file=out)
+        print(f"  service resumes durably under {args.wal_dir} "
+              f"(fsync {args.fsync}, checkpoint every "
+              f"{args.checkpoint_every} batches)", file=out)
+    finally:
+        sess._durability.close()
+        sess.close()
+    return 0
 
 
 def cmd_telemetry(args, out) -> int:
@@ -844,6 +1015,7 @@ def main(argv=None, out=None) -> int:
         "service": cmd_service,
         "mutate": cmd_mutate,
         "chaos": cmd_chaos,
+        "recover": cmd_recover,
         "telemetry": cmd_telemetry,
         "index": cmd_index,
         "experiment": cmd_experiment,

@@ -17,6 +17,10 @@ edge set changes underneath it:
   log replays to the exact edge set (and an oracle partitioning) of any
   past epoch, which is what the service's cross-check mode compares
   answers against.
+* :mod:`repro.dynamic.wal` — the durable twin of the in-memory log: an
+  append-only, CRC32-framed write-ahead log with torn-tail repair, the
+  substrate of whole-process crash recovery
+  (:mod:`repro.runtime.durability`).
 
 Index maintenance for the dynamic graph lives with the index itself in
 :mod:`repro.index.incremental`; the service-facing mutation lane is
@@ -35,8 +39,11 @@ from repro.dynamic.delta import (
     splice_effective_csr,
 )
 from repro.dynamic.snapshot import GraphSnapshot, SnapshotStore
+from repro.dynamic.wal import FSYNC_POLICIES, WriteAheadLog
 
 __all__ = [
+    "FSYNC_POLICIES",
+    "WriteAheadLog",
     "DynamicGraph",
     "MutationLog",
     "MutationRecord",

@@ -266,6 +266,10 @@ class DynamicGraph:
         self.num_vertices = n
         self.bounds = pg.bounds.copy()
         self.epoch = 0
+        # The epoch the resident base edge list corresponds to — 0 for a
+        # graph built live, the checkpoint's epoch after restore_epoch().
+        # Snapshot replay starts here, not at 0.
+        self.base_epoch = 0
         self.log = MutationLog()
         self.epoch0_edges = pg.edges
         self.compactions = 0
@@ -447,6 +451,29 @@ class DynamicGraph:
         for pid in sorted(self._touched_since_base):
             deltas[pid] = self._partition_delta(pid, ins, dels)
         return deltas or None
+
+    # -- recovery ------------------------------------------------------------ #
+
+    def restore_epoch(self, epoch: int, compactions: int = 0) -> None:
+        """Re-stamp a pristine graph with a checkpoint's epoch counters.
+
+        Recovery rebuilds the graph from checkpointed edges — so the
+        *content* is already epoch ``epoch``; this aligns the version
+        counters so WAL suffix replay advances them exactly as the
+        original process did.  Only valid before any mutation: the base
+        arrays must BE the checkpointed state."""
+        if self.epoch != 0 or self.log.records or self.has_pending:
+            raise MutationError(
+                "restore_epoch requires a pristine dynamic graph "
+                "(no mutations, no log records)"
+            )
+        if epoch < 0 or compactions < 0:
+            raise MutationError("restored epoch/compactions must be >= 0")
+        self.epoch = int(epoch)
+        self.base_epoch = int(epoch)
+        self.compactions = int(compactions)
+        for p in self.pg.partitions:
+            p.graph_epoch = self.epoch
 
     # -- compaction ---------------------------------------------------------- #
 

@@ -44,11 +44,16 @@ class SnapshotStore:
         initial_edges: EdgeList,
         bounds: np.ndarray,
         log: MutationLog,
+        base_epoch: int = 0,
     ):
         n = initial_edges.num_vertices
         self.num_vertices = n
         self.bounds = np.asarray(bounds, dtype=np.int64)
         self.log = log
+        # The epoch initial_edges corresponds to: 0 for a live-built
+        # graph, the checkpoint epoch for a restored one.  History before
+        # it is not reconstructible (the WAL prefix was pruned).
+        self.base_epoch = int(base_epoch)
         self._initial_keys = (
             initial_edges.src.astype(np.int64) * n
             + initial_edges.dst.astype(np.int64)
@@ -56,24 +61,29 @@ class SnapshotStore:
 
     @classmethod
     def of(cls, dynamic: DynamicGraph) -> "SnapshotStore":
-        return cls(dynamic.epoch0_edges, dynamic.bounds, dynamic.log)
+        return cls(
+            dynamic.epoch0_edges,
+            dynamic.bounds,
+            dynamic.log,
+            base_epoch=getattr(dynamic, "base_epoch", 0),
+        )
 
     @property
     def latest_epoch(self) -> int:
-        return self.log.records[-1].epoch if self.log.records else 0
+        return self.log.records[-1].epoch if self.log.records else self.base_epoch
 
     def snapshot(self, epoch: int) -> "GraphSnapshot":
-        if not 0 <= epoch <= self.latest_epoch:
+        if not self.base_epoch <= epoch <= self.latest_epoch:
             raise MutationError(
-                f"epoch {epoch} outside [0, {self.latest_epoch}]"
+                f"epoch {epoch} outside [{self.base_epoch}, {self.latest_epoch}]"
             )
         return GraphSnapshot(self, epoch)
 
     def edges_at(self, epoch: int) -> EdgeList:
         """The exact (key-sorted) edge set of ``epoch``, by log replay."""
-        if not 0 <= epoch <= self.latest_epoch:
+        if not self.base_epoch <= epoch <= self.latest_epoch:
             raise MutationError(
-                f"epoch {epoch} outside [0, {self.latest_epoch}]"
+                f"epoch {epoch} outside [{self.base_epoch}, {self.latest_epoch}]"
             )
         n = self.num_vertices
         keys = set(self._initial_keys.tolist())

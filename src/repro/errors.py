@@ -35,6 +35,9 @@ __all__ = [
     "Overloaded",
     "InvalidQueryError",
     "MutationError",
+    "DurabilityError",
+    "CorruptLog",
+    "CorruptCheckpoint",
 ]
 
 
@@ -82,3 +85,27 @@ class MutationError(ReproError, ValueError):
     """An edge mutation (or the graph it targets) failed validation: ids
     out of range, a weighted or duplicated base graph, or a request the
     dynamic layer cannot represent (e.g. growing the vertex set)."""
+
+
+class DurabilityError(ReproError, RuntimeError):
+    """The durability subsystem cannot make progress: no valid checkpoint
+    survives on disk, the WAL directory is unusable, or recovery found a
+    state it cannot reconcile.  Terminal — there is nothing left to fall
+    back to (the deterministic flavour, like
+    :class:`WorkerTaskError`)."""
+
+
+class CorruptLog(DurabilityError):
+    """A WAL record failed validation *before* the torn tail: an epoch out
+    of sequence or a replay that contradicts the checkpointed state.
+    Deterministic — rereading the same bytes fails identically.  (A torn
+    tail itself is not an error: the log is silently truncated to the
+    longest valid record prefix on open.)"""
+
+
+class CorruptCheckpoint(DurabilityError):
+    """A checkpoint's payload bytes no longer match its manifest CRCs.
+    Retryable in the recovery sense (like :class:`WorkerLost`): the loader
+    falls back to the next-older checkpoint and replays a longer WAL
+    suffix; only when every checkpoint is exhausted does recovery raise
+    the terminal :class:`DurabilityError`."""

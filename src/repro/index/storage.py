@@ -9,6 +9,7 @@ version), so a saved index is portable and diff-able with ``np.load``.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -21,24 +22,44 @@ FORMAT_VERSION = 1
 
 
 def save_labels(labels: HubLabels, path) -> Path:
-    """Write ``labels`` to ``path`` as a compressed ``.npz``; returns it."""
+    """Write ``labels`` to ``path`` as a compressed ``.npz``; returns it.
+
+    The write is atomic: bytes go to a sibling temp file which is fsynced
+    and then renamed over the target, so a crash mid-save leaves either
+    the old index or the new one on disk — never a torn archive."""
     path = Path(path)
-    np.savez_compressed(
-        path,
-        format_version=np.int64(FORMAT_VERSION),
-        num_vertices=np.int64(labels.num_vertices),
-        order=labels.order,
-        out_indptr=labels.out_indptr,
-        out_hubs=labels.out_hubs,
-        out_dists=labels.out_dists,
-        in_indptr=labels.in_indptr,
-        in_hubs=labels.in_hubs,
-        in_dists=labels.in_dists,
-    )
-    # np.savez appends .npz when missing; report the real on-disk path
-    return path if path.suffix == ".npz" else path.with_suffix(
-        path.suffix + ".npz"
-    )
+    if path.suffix != ".npz":
+        # np.savez appends .npz when missing; normalise up front so the
+        # temp file and the final rename agree on the real on-disk path
+        path = path.with_suffix(path.suffix + ".npz")
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                format_version=np.int64(FORMAT_VERSION),
+                num_vertices=np.int64(labels.num_vertices),
+                order=labels.order,
+                out_indptr=labels.out_indptr,
+                out_hubs=labels.out_hubs,
+                out_dists=labels.out_dists,
+                in_indptr=labels.in_indptr,
+                in_hubs=labels.in_hubs,
+                in_dists=labels.in_dists,
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    if path.parent.exists():
+        fd = os.open(str(path.parent), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    return path
 
 
 def load_labels(path) -> HubLabels:

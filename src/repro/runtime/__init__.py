@@ -27,6 +27,10 @@ Layers:
 * :mod:`repro.runtime.scheduler` — concurrent-query admission: the online
   :class:`~repro.runtime.scheduler.QueryService` admission loop plus the
   offline batch/pool simulators, producing per-query response times.
+* :mod:`repro.runtime.durability` — whole-process crash recovery: WAL'd
+  mutations, periodic checkpoints, and
+  :func:`~repro.runtime.durability.recover_session` /
+  :meth:`GraphSession.restore` rebuilding the exact pre-crash epoch.
 """
 
 from repro.runtime.message import MessageBatch, TaskBuffer
@@ -34,6 +38,12 @@ from repro.runtime.netmodel import NetworkModel, StepStats, VirtualClock
 from repro.runtime.cluster import Machine, SimCluster
 from repro.runtime.engine import PartitionTask, SuperstepEngine, EngineResult
 from repro.runtime.session import GraphSession
+from repro.runtime.durability import (
+    DurabilityManager,
+    RecoveryReport,
+    recover_session,
+    run_durable_drill,
+)
 from repro.runtime.pool import PoolError, WorkerPool
 from repro.runtime.scheduler import (
     QueryScheduler,
@@ -46,6 +56,10 @@ from repro.runtime.scheduler import (
 
 __all__ = [
     "GraphSession",
+    "DurabilityManager",
+    "RecoveryReport",
+    "recover_session",
+    "run_durable_drill",
     "WorkerPool",
     "PoolError",
     "QueryService",

@@ -40,7 +40,11 @@ __all__ = [
     "DELAY",
     "DROP_OUTBOX",
     "CORRUPT_INBOX",
+    "CRASH_POST_APPEND",
+    "CRASH_MID_CHECKPOINT",
+    "CRASH_MID_COMPACTION",
     "FAULT_KINDS",
+    "DURABLE_FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
@@ -56,6 +60,24 @@ CORRUPT_INBOX = "corrupt_inbox"
 
 #: Every injectable fault kind, in schedule-drawing order.
 FAULT_KINDS = (CRASH, DELAY, DROP_OUTBOX, CORRUPT_INBOX)
+
+# Process-level crash points of the durability layer (PR: durable service
+# state).  Unlike the worker faults above — which a supervisor recovers
+# *within* one process's lifetime — these kill the whole coordinator with
+# ``os._exit(CRASH_EXIT_CODE)`` and are survived by ``GraphSession.restore``
+# from the WAL + checkpoint directory.  ``step`` carries the 1-based
+# ordinal of the operation (the Nth WAL append / checkpoint / compaction)
+# and ``machine`` is 0 (there is only one coordinator).
+CRASH_POST_APPEND = "crash_post_append"  # WAL record durable, ack never sent
+CRASH_MID_CHECKPOINT = "crash_mid_checkpoint"  # data written, manifest not
+CRASH_MID_COMPACTION = "crash_mid_compaction"  # record logged, fold not done
+
+#: The durability layer's whole-process kill points, in drawing order.
+DURABLE_FAULT_KINDS = (
+    CRASH_POST_APPEND,
+    CRASH_MID_CHECKPOINT,
+    CRASH_MID_COMPACTION,
+)
 
 #: The process exit code an injected crash dies with (distinguishable from
 #: a genuine interpreter abort in the supervisor's logs).
@@ -94,7 +116,7 @@ class FaultEvent:
     event_id: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in FAULT_KINDS + DURABLE_FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.step < 0:
             raise ValueError("fault step must be >= 0")
@@ -150,6 +172,23 @@ class FaultPlan:
         ``step`` — detected by the per-batch message checksum."""
         return self._add(FaultEvent(CORRUPT_INBOX, step, machine))
 
+    def crash_post_append(self, at: int) -> "FaultPlan":
+        """Kill the whole process right after its ``at``-th WAL append is
+        durable (fsynced) but before the mutation is acknowledged."""
+        return self._add(FaultEvent(CRASH_POST_APPEND, at, 0))
+
+    def crash_mid_checkpoint(self, at: int) -> "FaultPlan":
+        """Kill the whole process in the middle of its ``at``-th periodic
+        checkpoint: payload files written, manifest not yet published —
+        the torn checkpoint must be invisible to recovery."""
+        return self._add(FaultEvent(CRASH_MID_CHECKPOINT, at, 0))
+
+    def crash_mid_compaction(self, at: int) -> "FaultPlan":
+        """Kill the whole process mid-compaction: the compaction's WAL
+        record is durable but the in-memory delta fold never ran —
+        recovery must replay the compaction to the exact epoch."""
+        return self._add(FaultEvent(CRASH_MID_COMPACTION, at, 0))
+
     @classmethod
     def random(
         cls,
@@ -178,6 +217,32 @@ class FaultPlan:
             else:
                 plan._add(FaultEvent(kind, step, machine))
         return plan
+
+    @classmethod
+    def random_durable(
+        cls,
+        seed: int,
+        max_append: int = 4,
+        max_checkpoint: int = 2,
+        max_compaction: int = 1,
+        kinds: tuple[str, ...] = DURABLE_FAULT_KINDS,
+    ) -> "FaultPlan":
+        """One seeded whole-process crash point for the durable drill.
+
+        Draws a kind uniformly from ``kinds`` and a 1-based ordinal within
+        that kind's budget (how many appends / periodic checkpoints /
+        compactions the drill's workload is known to perform).  Same seed,
+        same kill point — the durable chaos suite runs fixed seeds in CI.
+        """
+        rng = np.random.default_rng(seed)
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        budget = {
+            CRASH_POST_APPEND: max_append,
+            CRASH_MID_CHECKPOINT: max_checkpoint,
+            CRASH_MID_COMPACTION: max_compaction,
+        }[kind]
+        at = int(rng.integers(1, max(budget, 1) + 1))
+        return cls()._add(FaultEvent(kind, at, 0))
 
     # -- views -------------------------------------------------------------- #
 

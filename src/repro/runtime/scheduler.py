@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -504,6 +505,23 @@ class QueryService:
         self.cache = cache
         self._cache_mark = (0, 0)
 
+    @classmethod
+    def recover(cls, wal_dir, k: int | None, *, session_kwargs=None, **service_kwargs):
+        """Stand a service back up from a crashed one's durable directory.
+
+        Recovers the session (newest valid checkpoint + WAL-suffix replay,
+        exact pre-crash epoch — see
+        :func:`repro.runtime.durability.recover_session`, which
+        ``session_kwargs`` is forwarded to) and wraps it in a fresh
+        service built with ``service_kwargs``.  In-flight *queries* of the
+        dead process are not replayed — they were never acknowledged;
+        every acknowledged mutation is.
+        """
+        from repro.runtime.durability import recover_session
+
+        session = recover_session(wal_dir, **(session_kwargs or {}))
+        return cls(session, k, **service_kwargs)
+
     # -- submission --------------------------------------------------------- #
 
     def submit(
@@ -656,12 +674,23 @@ class QueryService:
         return len(self._pending_mutations)
 
     def _apply_due_mutations(self, now: float) -> None:
-        """Apply every queued mutation batch with ``arrival <= now``."""
-        while self._due_mutations and self._due_mutations[0][0] <= now:
-            _, _, inserts, deletes = self._due_mutations.pop(0)
-            self.session.apply_mutations(inserts, deletes)
-            self.mutations_applied += 1
-            self._drain_mutations += 1
+        """Apply every queued mutation batch with ``arrival <= now``.
+
+        On a durable session the whole due group commits under one fsync
+        barrier (group commit): each batch still WAL-appends individually
+        — ordering and torn-tail semantics are untouched — but the
+        arrival-queued lane pays one sync per drain step, not per batch.
+        """
+        if not self._due_mutations or self._due_mutations[0][0] > now:
+            return
+        durability = getattr(self.session, "_durability", None)
+        barrier = durability.group() if durability is not None else nullcontext()
+        with barrier:
+            while self._due_mutations and self._due_mutations[0][0] <= now:
+                _, _, inserts, deletes = self._due_mutations.pop(0)
+                self.session.apply_mutations(inserts, deletes)
+                self.mutations_applied += 1
+                self._drain_mutations += 1
 
     def _next_mutation_arrival(self) -> float | None:
         return self._due_mutations[0][0] if self._due_mutations else None

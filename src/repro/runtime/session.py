@@ -165,6 +165,7 @@ class GraphSession:
         self._compact_interval: int | None = None
         self._index_churn_threshold = 0.02
         self._mutation_batches = 0
+        self._durability = None  # DurabilityManager, via enable_durability()
         if isinstance(graph, PartitionedGraph):
             self.pg = graph
         else:
@@ -394,6 +395,56 @@ class GraphSession:
 
         return SnapshotStore.of(self.dynamic())
 
+    # -- durability (lazy import: durability depends on dynamic + index) ----- #
+
+    @property
+    def is_durable(self) -> bool:
+        """True while a :class:`~repro.runtime.durability.DurabilityManager`
+        is attached (mutations are WAL'd, checkpoints are periodic)."""
+        return self._durability is not None
+
+    def enable_durability(
+        self,
+        wal_dir,
+        *,
+        fsync: str = "batch",
+        checkpoint_every: int | None = 8,
+        retain: int = 2,
+        fault_plan=None,
+    ):
+        """Make this session crash-recoverable: WAL every mutation batch
+        under ``wal_dir`` and checkpoint every ``checkpoint_every`` batches.
+
+        Enables the dynamic layer if needed (call :meth:`dynamic` first to
+        pick non-default maintenance/compaction settings), takes a baseline
+        checkpoint when the directory holds none, and returns the attached
+        :class:`~repro.runtime.durability.DurabilityManager` (idempotent).
+        A later crash is survived by :meth:`GraphSession.restore` on the
+        same directory.
+        """
+        if self._durability is not None:
+            return self._durability
+        from repro.runtime.durability import DurabilityManager
+
+        self.dynamic()
+        return DurabilityManager(
+            self,
+            wal_dir,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            retain=retain,
+            fault_plan=fault_plan,
+        ).attach()
+
+    @classmethod
+    def restore(cls, wal_dir, **kwargs):
+        """Recover a session from a durable directory: newest valid
+        checkpoint + WAL-suffix replay, to the exact pre-crash epoch (see
+        :func:`repro.runtime.durability.recover_session` for knobs)."""
+        from repro.runtime.durability import recover_session
+
+        return recover_session(wal_dir, **kwargs)
+
     def apply_mutations(self, inserts=(), deletes=()):
         """Apply one edge-mutation batch to the resident graph.
 
@@ -439,6 +490,10 @@ class GraphSession:
             # "none" (or an already-stale index): leave it; consumers must
             # consult index_is_current before trusting it.
         self._mutation_batches += 1
+        # WAL-append before the caller is acknowledged (and before any
+        # auto-compaction, which write-ahead-logs itself via compact()).
+        if self._durability is not None:
+            self._durability.on_mutation(res)
         if (
             self._compact_interval is not None
             and self._mutation_batches % self._compact_interval == 0
@@ -455,6 +510,10 @@ class GraphSession:
         batch packs a fresh image from the compacted graph.
         """
         dg = self.dynamic()
+        # True write-ahead: the compaction's record is durable before the
+        # fold, so a crash in between replays to the exact epoch.
+        if self._durability is not None:
+            self._durability.log_compaction(dg.epoch + 1)
         with self.instr.span("compact", cat="dynamic"):
             res = dg.compact()
         self._invalidate_epoch_caches()

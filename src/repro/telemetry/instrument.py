@@ -161,6 +161,23 @@ class Instrumentation:
         self._cache_entries = m.gauge(
             "cgraph_cache_entries", "resident result-cache entries"
         )
+        self._wal_appends = m.counter(
+            "cgraph_wal_appends_total", "mutation records appended to the WAL"
+        )
+        self._wal_fsyncs = m.counter(
+            "cgraph_wal_fsyncs_total", "fsync barriers issued by the WAL"
+        )
+        self._wal_bytes = m.counter(
+            "cgraph_wal_bytes_total", "framed bytes appended to the WAL"
+        )
+        self._recovery_seconds = m.gauge(
+            "cgraph_recovery_seconds",
+            "wall seconds of the last checkpoint-load + WAL-replay recovery",
+        )
+        self._replayed = m.counter(
+            "cgraph_replayed_records_total",
+            "WAL records replayed during recovery",
+        )
 
     # -- spans --------------------------------------------------------------- #
 
@@ -310,6 +327,24 @@ class Instrumentation:
     def on_epoch(self, epoch: int) -> None:
         self._epoch.set(float(epoch))
 
+    # -- durability hooks ------------------------------------------------------ #
+
+    def on_wal_append(self, nbytes: int) -> None:
+        self._wal_appends.inc()
+        self._wal_bytes.inc(int(nbytes))
+
+    def on_wal_fsync(self) -> None:
+        self._wal_fsyncs.inc()
+
+    def on_durable_checkpoint(self) -> None:
+        # Shares cgraph_checkpoints_total with the superstep layer: both
+        # are "state made restorable" events, distinguished by context.
+        self._checkpoints.inc()
+
+    def on_recovery_done(self, seconds: float, replayed: int) -> None:
+        self._recovery_seconds.set(float(seconds))
+        self._replayed.inc(int(replayed))
+
     # -- QoS hooks ------------------------------------------------------------ #
 
     def on_lane_query(self, lane: str, response_seconds: float) -> None:
@@ -387,6 +422,18 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def on_epoch(self, *args, **kwargs) -> None:
+        pass
+
+    def on_wal_append(self, *args, **kwargs) -> None:
+        pass
+
+    def on_wal_fsync(self, *args, **kwargs) -> None:
+        pass
+
+    def on_durable_checkpoint(self, *args, **kwargs) -> None:
+        pass
+
+    def on_recovery_done(self, *args, **kwargs) -> None:
         pass
 
     def on_lane_query(self, *args, **kwargs) -> None:

@@ -204,3 +204,29 @@ class TestStorage:
     def test_labels_equal_detects_difference(self, labels):
         other = build_hub_labels(rmat_edges(5, 150, seed=10)).labels
         assert not labels_equal(labels, other)
+
+    def test_save_is_atomic_under_kill_mid_save(self, labels, tmp_path, monkeypatch):
+        # A crash between writing the temp file and the rename must leave
+        # the OLD index readable: the save goes tmp + fsync + os.replace,
+        # so the target is either the previous bytes or the new ones.
+        path = save_labels(labels, tmp_path / "index.npz")
+        before = path.read_bytes()
+
+        import repro.index.storage as storage
+
+        def killed_replace(src, dst):
+            raise KeyboardInterrupt("simulated kill mid-save")
+
+        monkeypatch.setattr(storage.os, "replace", killed_replace)
+        with pytest.raises(KeyboardInterrupt):
+            save_labels(labels, path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before  # old index untouched
+        assert labels_equal(load_labels(path), labels)
+        # and the aborted temp file was cleaned up, not left to rot
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_successful_save_leaves_no_temp_file(self, labels, tmp_path):
+        save_labels(labels, tmp_path / "index.npz")
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -1,0 +1,384 @@
+"""Durability suite: checkpoints, recovery, group commit, crash drills.
+
+The contract under test is exact-epoch recovery: a fresh process pointed
+at the durable directory reconstructs the graph, the epoch counters, the
+resident index and the mutation accounting of the dead one.  The crash
+drills at the bottom execute that statement end to end — a child process
+is killed mid-write at each seeded crash point and the recovered session
+must answer bit-identically to a run that never crashed.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dynamic.wal import WriteAheadLog, encode_record
+from repro.dynamic.delta import MutationRecord
+from repro.errors import CorruptCheckpoint, CorruptLog, DurabilityError
+from repro.graph import rmat_edges
+from repro.runtime.durability import (
+    CHECKPOINT_FORMAT,
+    list_checkpoints,
+    load_checkpoint,
+    recover_session,
+    run_durable_drill,
+)
+from repro.runtime.fault import (
+    CRASH_MID_CHECKPOINT,
+    CRASH_MID_COMPACTION,
+    CRASH_POST_APPEND,
+)
+from repro.runtime.scheduler import QueryService
+from repro.runtime.session import GraphSession
+from repro.telemetry import Instrumentation
+from tests.dynamic.conftest import existing_edges, fresh_edges
+
+
+@pytest.fixture
+def graph():
+    return rmat_edges(8, 2500, seed=5).remove_self_loops().deduplicate()
+
+
+@pytest.fixture
+def keys(graph):
+    n = graph.num_vertices
+    return set(
+        int(u) * n + int(v)
+        for u, v in zip(graph.src.tolist(), graph.dst.tolist())
+    )
+
+
+def _batch(rng, n, current, n_ins=4, n_del=2):
+    ins = np.array(fresh_edges(rng, n, current, n_ins), dtype=np.int64)
+    dels = np.array(existing_edges(rng, n, current, n_del), dtype=np.int64)
+    return ins, dels
+
+
+def _durable(graph, root, *, index=True, instr=None, **kw):
+    sess = GraphSession(graph, num_machines=2, instrumentation=instr)
+    sess.dynamic(churn_threshold=10.0)
+    if index:
+        sess.index()
+    mgr = sess.enable_durability(root, **kw)
+    return sess, mgr
+
+
+# --------------------------------------------------------------------------- #
+# checkpoints
+# --------------------------------------------------------------------------- #
+
+
+class TestCheckpoints:
+    def test_baseline_on_attach(self, graph, tmp_path):
+        sess, mgr = _durable(graph, tmp_path)
+        assert sess.is_durable
+        cks = list_checkpoints(tmp_path / "checkpoints")
+        assert [d.name for d in cks] == ["ckpt-000000000000"]
+        manifest, edges, bounds, labels = load_checkpoint(cks[0])
+        assert manifest["format"] == CHECKPOINT_FORMAT
+        assert manifest["epoch"] == 0
+        ref = sess.dynamic().materialize_edges()
+        assert np.array_equal(edges.src, ref.src)
+        assert np.array_equal(edges.dst, ref.dst)
+        assert labels is not None  # index was resident and current
+        mgr.close()
+        sess.close()
+
+    def test_periodic_cadence_and_retention(self, graph, keys, tmp_path):
+        rng = np.random.default_rng(0)
+        sess, mgr = _durable(
+            graph, tmp_path, checkpoint_every=2, retain=2
+        )
+        for _ in range(6):
+            sess.apply_mutations(*_batch(rng, graph.num_vertices, keys))
+        # baseline + one periodic checkpoint per 2 batches
+        assert mgr.checkpoints == 1 + 3
+        kept = list_checkpoints(tmp_path / "checkpoints")
+        assert len(kept) == 2  # retention pruned the rest
+        assert kept[-1].name == f"ckpt-{sess.graph_epoch:012d}"
+        # retention also released the WAL segments under pruned checkpoints
+        segs = sorted((tmp_path / "wal").glob("wal-*.seg"))
+        assert len(segs) <= 3
+        mgr.close()
+        sess.close()
+
+    def test_idempotent_per_epoch(self, graph, tmp_path):
+        sess, mgr = _durable(graph, tmp_path)
+        before = mgr.checkpoints
+        path = mgr.checkpoint()  # same epoch as the baseline
+        assert path.is_dir()
+        assert mgr.checkpoints == before
+        mgr.close()
+        sess.close()
+
+    def test_torn_checkpoint_is_invisible_and_pruned(self, graph, keys, tmp_path):
+        sess, mgr = _durable(graph, tmp_path, checkpoint_every=None)
+        torn = tmp_path / "checkpoints" / "ckpt-000000000099"
+        torn.mkdir()
+        (torn / "edges.npz").write_bytes(b"half a payload")
+        assert len(list_checkpoints(tmp_path / "checkpoints")) == 1
+        rng = np.random.default_rng(1)
+        sess.apply_mutations(*_batch(rng, graph.num_vertices, keys))
+        mgr.checkpoint()  # retention sweeps torn directories
+        assert not torn.exists()
+        mgr.close()
+        sess.close()
+
+    def test_crc_mismatch_raises(self, graph, tmp_path):
+        sess, mgr = _durable(graph, tmp_path)
+        mgr.close()
+        sess.close()
+        ck = list_checkpoints(tmp_path / "checkpoints")[0]
+        data = bytearray((ck / "edges.npz").read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        (ck / "edges.npz").write_bytes(bytes(data))
+        with pytest.raises(CorruptCheckpoint, match="CRC"):
+            load_checkpoint(ck)
+
+    def test_missing_payload_and_bad_format_raise(self, graph, tmp_path):
+        sess, mgr = _durable(graph, tmp_path)
+        mgr.close()
+        sess.close()
+        ck = list_checkpoints(tmp_path / "checkpoints")[0]
+        manifest = json.loads((ck / "manifest.json").read_text())
+        (ck / "index.npz").unlink()
+        with pytest.raises(CorruptCheckpoint, match="missing payload"):
+            load_checkpoint(ck)
+        manifest["format"] = 999
+        del manifest["files"]["index.npz"]
+        (ck / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CorruptCheckpoint, match="format"):
+            load_checkpoint(ck)
+
+
+# --------------------------------------------------------------------------- #
+# recovery
+# --------------------------------------------------------------------------- #
+
+
+def _run_mutations(sess, keys, num_batches, seed=2):
+    rng = np.random.default_rng(seed)
+    n = sess.num_vertices
+    for _ in range(num_batches):
+        sess.apply_mutations(*_batch(rng, n, keys))
+
+
+class TestRecovery:
+    def test_round_trip_exact_epoch(self, graph, keys, tmp_path):
+        sess, mgr = _durable(graph, tmp_path, checkpoint_every=4)
+        _run_mutations(sess, keys, 6)
+        final_epoch = int(sess.graph_epoch)
+        ref_edges = sess.dynamic().materialize_edges()
+        ref_batches = int(sess._mutation_batches)
+        mgr.close()
+        sess.close()
+
+        rec = recover_session(
+            tmp_path, checkpoint_every=4, churn_threshold=10.0,
+            cross_check=True,
+        )
+        report = rec._durability.last_recovery
+        assert int(rec.graph_epoch) == final_epoch
+        assert int(rec._mutation_batches) == ref_batches
+        got = rec.dynamic().materialize_edges()
+        assert np.array_equal(got.src, ref_edges.src)
+        assert np.array_equal(got.dst, ref_edges.dst)
+        assert report.checkpoint_epoch == 4
+        assert report.replayed_records == 2  # the post-checkpoint suffix
+        assert report.replayed_mutations == 2
+        assert report.checkpoint_fallbacks == 0
+        assert report.cross_checked
+        assert rec.has_index  # maintained through replay
+        rec._durability.close()
+        rec.close()
+
+    def test_recovered_session_keeps_appending(self, graph, keys, tmp_path):
+        sess, mgr = _durable(graph, tmp_path, checkpoint_every=None)
+        _run_mutations(sess, keys, 3)
+        mgr.close()
+        sess.close()
+
+        rec = GraphSession.restore(
+            tmp_path, checkpoint_every=None, churn_threshold=10.0
+        )
+        _run_mutations(rec, keys, 2, seed=9)
+        epoch = int(rec.graph_epoch)
+        rec._durability.close()
+        rec.close()
+        # the resumed appends landed in the same log
+        wal = WriteAheadLog(tmp_path / "wal")
+        assert wal.last_epoch == epoch
+        wal.close()
+
+    def test_fallback_to_older_checkpoint(self, graph, keys, tmp_path):
+        sess, mgr = _durable(graph, tmp_path, checkpoint_every=2, retain=3)
+        _run_mutations(sess, keys, 4)
+        final_epoch = int(sess.graph_epoch)
+        ref_edges = sess.dynamic().materialize_edges()
+        mgr.close()
+        sess.close()
+
+        newest = list_checkpoints(tmp_path / "checkpoints")[-1]
+        data = bytearray((newest / "edges.npz").read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        (newest / "edges.npz").write_bytes(bytes(data))
+
+        rec = recover_session(tmp_path, churn_threshold=10.0)
+        report = rec._durability.last_recovery
+        assert report.checkpoint_fallbacks == 1
+        assert report.checkpoint_epoch < final_epoch
+        assert int(rec.graph_epoch) == final_epoch  # longer WAL replay
+        got = rec.dynamic().materialize_edges()
+        assert np.array_equal(got.src, ref_edges.src)
+        assert np.array_equal(got.dst, ref_edges.dst)
+        rec._durability.close()
+        rec.close()
+
+    def test_no_checkpoint_raises(self, tmp_path):
+        with pytest.raises(DurabilityError, match="no committed checkpoint"):
+            recover_session(tmp_path)
+
+    def test_every_checkpoint_corrupt_raises(self, graph, tmp_path):
+        sess, mgr = _durable(graph, tmp_path)
+        mgr.close()
+        sess.close()
+        for ck in list_checkpoints(tmp_path / "checkpoints"):
+            (ck / "edges.npz").write_bytes(b"gone")
+        with pytest.raises(DurabilityError, match="failed validation"):
+            recover_session(tmp_path)
+
+    def test_wal_contradicting_checkpoint_raises(self, graph, keys, tmp_path):
+        sess, mgr = _durable(graph, tmp_path, checkpoint_every=None)
+        _run_mutations(sess, keys, 2)
+        epoch = int(sess.graph_epoch)
+        mgr.close()
+        sess.close()
+        # Forge a parse-valid record whose epoch skips ahead: replay must
+        # refuse rather than silently diverge.
+        seg = sorted((tmp_path / "wal").glob("wal-*.seg"))[-1]
+        bogus = MutationRecord(
+            epoch + 2,
+            np.array([[0, 1]], dtype=np.int64),
+            np.empty((0, 2), dtype=np.int64),
+        )
+        with open(seg, "ab") as fh:
+            fh.write(encode_record(bogus))
+        with pytest.raises(CorruptLog, match="expected epoch"):
+            recover_session(tmp_path, churn_threshold=10.0)
+
+
+# --------------------------------------------------------------------------- #
+# the service lane
+# --------------------------------------------------------------------------- #
+
+
+class TestDurableService:
+    def test_group_commit_one_fsync_per_drain(self, graph, keys, tmp_path):
+        sess, mgr = _durable(graph, tmp_path, checkpoint_every=None)
+        svc = QueryService(sess, k=3)
+        rng = np.random.default_rng(4)
+        n = graph.num_vertices
+        appends0, fsyncs0 = mgr.wal.appends, mgr.wal.fsyncs
+        for i in range(5):
+            svc.apply_mutations(*_batch(rng, n, keys), arrival=float(i) * 1e-4)
+        svc.submit(0, arrival=1.0)
+        svc.drain()
+        assert mgr.wal.appends == appends0 + 5
+        assert mgr.wal.fsyncs == fsyncs0 + 1  # one barrier for the group
+        mgr.close()
+        sess.close()
+
+    def test_service_recover_classmethod(self, graph, keys, tmp_path):
+        sess, mgr = _durable(graph, tmp_path, checkpoint_every=4)
+        svc = QueryService(sess, k=3)
+        rng = np.random.default_rng(6)
+        n = graph.num_vertices
+        for i in range(5):
+            svc.apply_mutations(*_batch(rng, n, keys), arrival=float(i) * 1e-4)
+        svc.submit(1, arrival=1.0)
+        svc.drain()
+        sources = rng.integers(0, n, size=6).astype(np.int64)
+        ref = sess.khop(sources, 3)
+        epoch = int(sess.graph_epoch)
+        mgr.close()
+        sess.close()
+
+        svc2 = QueryService.recover(
+            tmp_path, 3,
+            session_kwargs={"checkpoint_every": 4, "churn_threshold": 10.0},
+        )
+        try:
+            assert int(svc2.session.graph_epoch) == epoch
+            got = svc2.session.khop(sources, 3)
+            assert np.array_equal(got.reached, ref.reached)
+        finally:
+            svc2.session._durability.close()
+            svc2.session.close()
+
+
+# --------------------------------------------------------------------------- #
+# telemetry
+# --------------------------------------------------------------------------- #
+
+
+class TestDurabilityTelemetry:
+    def test_counters_cover_the_write_and_recovery_paths(
+        self, graph, keys, tmp_path
+    ):
+        instr = Instrumentation()
+        sess, mgr = _durable(
+            graph, tmp_path, instr=instr, checkpoint_every=2
+        )
+        _run_mutations(sess, keys, 3)
+        m = instr.metrics
+        appends = m.get("cgraph_wal_appends_total").value()
+        assert appends == 3.0
+        assert m.get("cgraph_wal_fsyncs_total").value() >= 3.0
+        assert m.get("cgraph_wal_bytes_total").value() == mgr.wal.bytes_written
+        assert m.get("cgraph_checkpoints_total").value() == 2.0
+        mgr.close()
+        sess.close()
+
+        instr2 = Instrumentation()
+        rec = recover_session(
+            tmp_path, churn_threshold=10.0, instrumentation=instr2
+        )
+        m2 = instr2.metrics
+        assert m2.get("cgraph_replayed_records_total").value() == 1.0
+        assert m2.get("cgraph_recovery_seconds").value() > 0.0
+        rec._durability.close()
+        rec.close()
+
+
+# --------------------------------------------------------------------------- #
+# crash drills
+# --------------------------------------------------------------------------- #
+
+
+class TestCrashDrills:
+    @pytest.mark.parametrize(
+        "kind", [CRASH_POST_APPEND, CRASH_MID_CHECKPOINT, CRASH_MID_COMPACTION]
+    )
+    def test_kill_and_recover_bit_identical(self, kind, tmp_path):
+        report = run_durable_drill(
+            17, tmp_path, crash_kind=kind, crash_at=1, scale=0.5
+        )
+        assert report.crash_kind == kind
+        assert report.recovered_epoch >= report.checkpoint_epoch
+        assert report.final_epoch > report.recovered_epoch
+        assert report.waves_compared >= 1
+        assert report.recovery_seconds > 0.0
+
+    def test_random_kill_point_is_seeded(self, tmp_path):
+        a = run_durable_drill(3, tmp_path / "a", scale=0.5)
+        b = run_durable_drill(3, tmp_path / "b", scale=0.5)
+        assert (a.crash_kind, a.crash_at) == (b.crash_kind, b.crash_at)
+
+    def test_pool_backend_parity(self, tmp_path):
+        report = run_durable_drill(
+            29, tmp_path, crash_kind=CRASH_POST_APPEND, crash_at=5,
+            backend="pool", scale=0.5,
+        )
+        assert report.backend == "pool"
+        assert report.waves_compared >= 1

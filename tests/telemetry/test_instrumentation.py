@@ -181,3 +181,11 @@ class TestAcceptance:
             f" {rep.num_queries}" in text
         assert f"cgraph_response_seconds_count{{discipline=\"batch\"}} " \
             f"{rep.num_queries}" in text
+        # the durability family is always registered, even before any
+        # durable session exists (zero-valued series are how operators
+        # alert on "recovery never ran")
+        for name in ("cgraph_wal_appends_total", "cgraph_wal_fsyncs_total",
+                     "cgraph_wal_bytes_total", "cgraph_checkpoints_total",
+                     "cgraph_replayed_records_total"):
+            assert f"# TYPE {name} counter" in text
+        assert "# TYPE cgraph_recovery_seconds gauge" in text

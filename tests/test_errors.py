@@ -11,8 +11,11 @@ import pytest
 
 from repro.errors import (
     CheckpointError,
+    CorruptCheckpoint,
+    CorruptLog,
     CorruptMessage,
     DeadlineExceeded,
+    DurabilityError,
     InvalidQueryError,
     Overloaded,
     PoolError,
@@ -30,6 +33,9 @@ ALL = [
     DeadlineExceeded,
     Overloaded,
     InvalidQueryError,
+    DurabilityError,
+    CorruptLog,
+    CorruptCheckpoint,
 ]
 
 
@@ -50,6 +56,9 @@ def test_every_error_is_a_repro_error(exc):
         (DeadlineExceeded, TimeoutError),
         (Overloaded, RuntimeError),
         (InvalidQueryError, ValueError),
+        (DurabilityError, RuntimeError),
+        (CorruptLog, RuntimeError),
+        (CorruptCheckpoint, RuntimeError),
     ],
 )
 def test_builtin_compatibility(exc, builtin):
@@ -66,6 +75,16 @@ def test_pool_failures_discriminate_retryability():
     assert issubclass(WorkerTaskError, PoolError)
     assert not issubclass(WorkerLost, WorkerTaskError)
     assert not issubclass(WorkerTaskError, WorkerLost)
+
+
+def test_durability_failures_discriminate_retryability():
+    # CorruptCheckpoint is the retryable flavour (recovery falls back to
+    # an older checkpoint); CorruptLog is deterministic (the same bytes
+    # fail the same way); both sit under the terminal DurabilityError.
+    assert issubclass(CorruptLog, DurabilityError)
+    assert issubclass(CorruptCheckpoint, DurabilityError)
+    assert not issubclass(CorruptLog, CorruptCheckpoint)
+    assert not issubclass(CorruptCheckpoint, CorruptLog)
 
 
 def test_catching_the_base_catches_everything():
